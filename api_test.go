@@ -1,0 +1,82 @@
+package autopipe_test
+
+import (
+	"strings"
+	"testing"
+
+	"autopipe"
+)
+
+// The public facade is what the examples and downstream users consume; these
+// tests exercise the documented end-to-end flow.
+
+func TestPublicPlanEvaluateFlow(t *testing.T) {
+	model := autopipe.GPT2_345M()
+	cluster := autopipe.DefaultCluster()
+	cluster.NumGPUs = 4
+	run := autopipe.Run{MicroBatch: 32, GlobalBatch: 512, Checkpoint: true}
+
+	spec, blocks, err := autopipe.Plan(model, run, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Planner != "AutoPipe" {
+		t.Errorf("planner = %q", spec.Planner)
+	}
+	if spec.Depth() != 2 {
+		t.Errorf("depth = %d, want 2 (the paper's high-memory plan)", spec.Depth())
+	}
+	if spec.NumSliced < 1 {
+		t.Error("pipeline plan without slicing")
+	}
+	res, err := autopipe.Evaluate(spec, blocks, run, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != "" {
+		t.Fatalf("evaluation failed: %s", res.Err)
+	}
+	if res.IterTime <= 0 || res.Micro != 8 {
+		t.Errorf("unexpected evaluation: %+v", res)
+	}
+}
+
+func TestPublicBuildSimulateSlice(t *testing.T) {
+	cluster := autopipe.DefaultCluster()
+	blocks, err := autopipe.Build(autopipe.BERTLarge(), 16, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := autopipe.PlanDepth(blocks, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, b := pr.Best.Partition.StageTimes(blocks)
+	sr, err := autopipe.Simulate(f, b, blocks.Comm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.IterTime <= 0 || sr.Master < 0 || sr.Master >= 4 {
+		t.Errorf("bad simulation: %+v", sr)
+	}
+	sp, err := autopipe.Slice(f, b, blocks.Comm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumSliced < 1 || sp.NumSliced > 4 {
+		t.Errorf("slice plan %+v out of range", sp)
+	}
+}
+
+func TestPublicModelZoo(t *testing.T) {
+	if got := len(autopipe.Models()); got != 4 {
+		t.Errorf("zoo size %d, want 4", got)
+	}
+	m, err := autopipe.ModelByName("gpt2-1.3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Name, "1.3B") {
+		t.Errorf("resolved %q", m.Name)
+	}
+}

@@ -1,0 +1,116 @@
+// Package autopipe is the public API of the AutoPipe reproduction: a fast
+// pipeline-parallelism planner with balanced sub-layer partitioning and
+// micro-batch slicing (Liu et al., CLUSTER 2022), together with the
+// simulated-cluster substrate the evaluation runs on.
+//
+// The typical flow mirrors the paper's Fig. 2:
+//
+//	model := autopipe.GPT2_345M()
+//	cluster := autopipe.DefaultCluster()
+//	run := autopipe.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
+//	spec, blocks, err := autopipe.Plan(model, run, cluster)   // Planner + Slicer
+//	result, err := autopipe.Evaluate(spec, blocks, run, cluster) // simulated testbed
+//
+// Plan produces a balanced pipeline partition (heuristic master-stage search
+// seeded by the Algorithm 1 dynamic program, assessed by the analytic 1F1B
+// simulator) plus the number of warmup micro-batches to slice (Algorithm 2).
+// Evaluate runs the plan on the discrete-event cluster executor and reports
+// the iteration time, startup overhead, and memory feasibility.
+package autopipe
+
+import (
+	"autopipe/internal/config"
+	"autopipe/internal/core"
+	"autopipe/internal/cost"
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/plan"
+	"autopipe/internal/sim"
+	"autopipe/internal/slicer"
+)
+
+// Re-exported configuration types (see internal/config for field docs).
+type (
+	// Model describes a transformer benchmark model.
+	Model = config.Model
+	// Device is an accelerator profile.
+	Device = config.Device
+	// Network is the interconnect profile.
+	Network = config.Network
+	// Cluster bundles devices and network.
+	Cluster = config.Cluster
+	// Run is one training configuration.
+	Run = config.Run
+)
+
+// Re-exported planning types.
+type (
+	// Spec is a complete pipeline plan (partition, replication, slicing).
+	Spec = plan.Spec
+	// EvalResult is the outcome of executing a plan on the simulated
+	// cluster.
+	EvalResult = plan.Result
+	// Blocks is a model lowered to AutoPipe's sub-layer block array.
+	Blocks = model.Blocks
+	// Partition assigns block ranges to pipeline stages.
+	Partition = partition.Partition
+	// SimResult is the analytic simulator's output (iteration time,
+	// critical path, master stage).
+	SimResult = sim.Result
+	// SlicePlan is the micro-batch slicing decision of Algorithm 2.
+	SlicePlan = slicer.Plan
+)
+
+// Model zoo (paper Table I).
+var (
+	GPT2_345M   = config.GPT2_345M
+	GPT2_762M   = config.GPT2_762M
+	GPT2_1_3B   = config.GPT2_1_3B
+	BERTLarge   = config.BERTLarge
+	Models      = config.Zoo
+	ModelByName = config.ModelByName
+)
+
+// DefaultCluster returns the paper's 16× RTX 3090 testbed profile.
+func DefaultCluster() Cluster { return config.DefaultCluster() }
+
+// Plan runs the full AutoPipe pipeline: the Planner chooses a pipeline depth
+// and a balanced sub-layer partition, and the Slicer solves the warmup
+// micro-batch slicing. The returned Blocks is the block array the plan's
+// partition indexes (needed by Evaluate).
+func Plan(m Model, run Run, cluster Cluster) (*Spec, *Blocks, error) {
+	return core.PlanCluster(m, run, cluster)
+}
+
+// PlanDepth runs the heuristic partition search at a fixed pipeline depth
+// with m micro-batches per iteration, returning the planner's best candidate
+// together with its simulation.
+func PlanDepth(bl *Blocks, depth, micro int) (*core.PlanResult, error) {
+	return core.PlanDepth(bl, depth, micro)
+}
+
+// Build lowers a model to AutoPipe's sub-layer block array for a micro-batch
+// size (with activation checkpointing, as in all paper experiments).
+func Build(m Model, microBatch int, cluster Cluster) (*Blocks, error) {
+	return model.Build(m, cost.Geometry{MicroBatch: microBatch, Checkpoint: true},
+		cluster.Device, cluster.Network, model.SubLayer)
+}
+
+// Simulate runs the paper's analytic pipeline simulator on explicit
+// per-stage forward/backward times.
+func Simulate(f, b []float64, comm float64, micro int) (*SimResult, error) {
+	return sim.Simulate(f, b, comm, micro)
+}
+
+// Slice solves Algorithm 2: the number of leading micro-batches whose
+// forwards should be split in half to hide the pipeline startup overhead.
+func Slice(f, b []float64, comm float64, micro int) (SlicePlan, error) {
+	return slicer.Solve(f, b, comm, micro)
+}
+
+// Evaluate executes a plan for one training iteration on the discrete-event
+// cluster executor, reporting iteration time, startup overhead, the gradient
+// all-reduce cost, and OOM/runtime-error conditions.
+func Evaluate(s *Spec, bl *Blocks, run Run, cluster Cluster) (*EvalResult, error) {
+	return plan.Evaluate(s, bl, run, cluster)
+}

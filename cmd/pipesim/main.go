@@ -1,0 +1,153 @@
+// Command pipesim executes a pipeline schedule for a benchmark model on the
+// discrete-event cluster executor and prints timing metrics, per-device
+// utilization, and (optionally) a text Gantt chart of the iteration.
+//
+// Usage:
+//
+//	pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 \
+//	        [-schedule 1f1b|gpipe|sliced|interleaved] [-sliced N] [-gantt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autopipe/internal/baselines/megatron"
+	"autopipe/internal/config"
+	"autopipe/internal/core"
+	"autopipe/internal/cost"
+	"autopipe/internal/exec"
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/schedule"
+	"autopipe/internal/sim"
+	"autopipe/internal/slicer"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt2-345m", "model: gpt2-345m, gpt2-762m, gpt2-1.3b, bert-large")
+	stages := flag.Int("stages", 4, "pipeline depth")
+	mbs := flag.Int("mbs", 4, "micro-batch size")
+	micro := flag.Int("micro", 8, "micro-batches per iteration")
+	schedName := flag.String("schedule", "1f1b", "schedule: 1f1b, gpipe, sliced, interleaved")
+	slicedN := flag.Int("sliced", -1, "micro-batches to slice (-1 = solve with Algorithm 2)")
+	chunks := flag.Int("chunks", 2, "interleaving factor for -schedule interleaved")
+	even := flag.Bool("even", false, "use Megatron's even partition instead of the AutoPipe planner")
+	gantt := flag.Bool("gantt", false, "print the per-device timeline")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) to this path")
+	critical := flag.Bool("critical", false, "print the executed critical path")
+	flag.Parse()
+
+	mc, err := config.ModelByName(*modelName)
+	if err != nil {
+		fail(err)
+	}
+	cluster := config.DefaultCluster()
+	bl, err := model.Build(mc, cost.Geometry{MicroBatch: *mbs, Checkpoint: true},
+		cluster.Device, cluster.Network, model.SubLayer)
+	if err != nil {
+		fail(err)
+	}
+
+	var part partition.Partition
+	if *even {
+		part, err = megatron.EvenPartition(bl, *stages)
+	} else {
+		var pr *core.PlanResult
+		pr, err = core.PlanDepth(bl, *stages, *micro)
+		if err == nil {
+			part = pr.Best.Partition
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	f, b := part.StageTimes(bl)
+
+	var s *schedule.Schedule
+	virtF, virtB := f, b
+	switch *schedName {
+	case "1f1b":
+		s, err = schedule.OneFOneB(*stages, *micro)
+	case "gpipe":
+		s, err = schedule.GPipe(*stages, *micro)
+	case "sliced":
+		n := *slicedN
+		if n < 0 {
+			var sp slicer.Plan
+			sp, err = slicer.Solve(f, b, bl.Comm, *micro)
+			if err != nil {
+				fail(err)
+			}
+			n = sp.NumSliced
+			fmt.Printf("Algorithm 2 slices %d micro-batch(es)\n", n)
+		}
+		s, err = schedule.Sliced(*stages, *micro, n)
+	case "interleaved":
+		virtF, virtB, _, err = megatron.InterleavedTimes(bl, *stages, *chunks)
+		if err != nil {
+			fail(err)
+		}
+		s, err = schedule.Interleaved(*stages, *micro, *chunks)
+	default:
+		fail(fmt.Errorf("unknown schedule %q", *schedName))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	r, err := exec.Run(s, exec.Config{
+		VirtFwd:        virtF,
+		VirtBwd:        virtB,
+		CommBytes:      bl.List[0].OutBytes,
+		Network:        cluster.Network,
+		KernelOverhead: cluster.Device.KernelOverhead,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s, %d stages, %d micro-batches of size %d, schedule %s\n\n",
+		mc.Name, *stages, *micro, *mbs, s.Name)
+	fmt.Print(part.Describe(bl))
+	fmt.Printf("\niteration time:   %.1f ms\n", r.IterTime*1e3)
+	fmt.Printf("startup overhead: %.1f ms\n", r.Startup*1e3)
+	for d, u := range r.Utilization() {
+		fmt.Printf("device %d utilization: %.1f%%\n", d, 100*u)
+	}
+	if sr, err := sim.Simulate(f, b, bl.Comm, *micro); err == nil && *schedName == "1f1b" {
+		fmt.Printf("analytic simulator: %.1f ms (gap %.1f ms)\n", sr.IterTime*1e3, (r.IterTime-sr.IterTime)*1e3)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(r.Gantt())
+	}
+	if *critical {
+		path, err := r.CriticalPath(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\ncritical path:")
+		for _, tr := range path {
+			fmt.Printf("  %s dev%d [%.2f, %.2f] ms\n", tr.Op, tr.Device, tr.Start*1e3, tr.End*1e3)
+		}
+	}
+	if *tracePath != "" {
+		fp, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := r.WriteChromeTrace(fp); err != nil {
+			fp.Close()
+			fail(err)
+		}
+		fp.Close()
+		fmt.Printf("chrome trace written to %s\n", *tracePath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pipesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Minitrain: real pipeline-parallel training on the miniature framework.
+// A tiny GPT is trained twice on identical data — serially on one "device"
+// and as a 3-stage 1F1B pipeline with AutoPipe's sliced warmup — and the
+// losses and weights stay identical, demonstrating the paper's semantic
+// claims: synchronous pipeline parallelism and micro-batch slicing do not
+// affect the computation (and therefore not convergence, §III-C).
+//
+//	go run ./examples/minitrain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"autopipe/internal/nn"
+	"autopipe/internal/tensor"
+	"autopipe/internal/train"
+)
+
+func main() {
+	cfg := nn.GPTConfig{Vocab: 31, MaxSeq: 10, Hidden: 24, Heads: 4, Layers: 3, FFNMult: 4, Seed: 2022}
+	serialMods := nn.BuildGPT(cfg) // same seed -> identical init
+	pipeMods := nn.BuildGPT(cfg)
+
+	// Cut the module array at sub-layer granularity, the way the planner
+	// cuts its block array: [emb+attn | ffn..attn | ffn..head].
+	pipe, err := train.NewPipeline(pipeMods, []int{0, 2, 5, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tiny GPT: %d modules across %d stages (sub-layer cuts)\n\n", len(pipeMods), len(pipe.Stages))
+
+	dsSerial := train.NewDataset(cfg.Vocab, cfg.MaxSeq-2, 7)
+	dsPipe := train.NewDataset(cfg.Vocab, cfg.MaxSeq-2, 7)
+	serialOpt := train.NewAdam(2e-3)
+	pipeOpt := train.NewAdam(2e-3)
+	serialParams := nn.CollectParams(serialMods)
+	pipeParams := pipe.AllParams()
+
+	const steps, m, batch = 40, 4, 4
+	scale := 1.0 / float64(m*batch*(cfg.MaxSeq-2))
+	fmt.Printf("%5s  %12s  %12s  %10s\n", "step", "serial loss", "pipeline loss", "|Δweights|")
+	for step := 1; step <= steps; step++ {
+		microsA := dsSerial.Micros(m, batch)
+		microsB := dsPipe.Micros(m, batch)
+
+		nn.ZeroGrads(serialParams)
+		serialLoss := train.SerialStep(serialMods, microsA, scale)
+		serialOpt.Step(serialParams)
+
+		nn.ZeroGrads(pipeParams)
+		pipeLoss, err := pipe.Step(microsB, 1 /* sliced warmup micro-batch */, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipeOpt.Step(pipeParams)
+
+		if step%8 == 0 || step == 1 {
+			var worst float64
+			for i := range serialParams {
+				if d := tensor.MaxAbsDiff(serialParams[i].W, pipeParams[i].W); d > worst {
+					worst = d
+				}
+			}
+			fmt.Printf("%5d  %12.5f  %12.5f  %10.2e\n", step, serialLoss, pipeLoss, worst)
+			if math.Abs(serialLoss-pipeLoss) > 1e-8 {
+				log.Fatalf("losses diverged at step %d", step)
+			}
+		}
+	}
+	fmt.Println("\npipeline training (1F1B + sliced warmup) matches serial training exactly —")
+	fmt.Println("balanced partitioning and micro-batch slicing change timing, not math.")
+}

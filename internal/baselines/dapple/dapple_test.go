@@ -1,0 +1,98 @@
+package dapple
+
+import (
+	"testing"
+
+	"autopipe/internal/config"
+)
+
+func makePlan(t *testing.T, mc config.Model, mbs, gbs, gpus int, opts Options) (*planSpec, layerCounts) {
+	t.Helper()
+	cl := config.DefaultCluster()
+	cl.NumGPUs = gpus
+	run := config.Run{MicroBatch: mbs, GlobalBatch: gbs, Checkpoint: true}
+	spec, bl, err := Plan(mc, run, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &planSpec{spec.Partition.Stages(), spec.StageDevices, spec.MicroShard, spec.Evaluated},
+		layerCounts(spec.Partition.LayerCounts(bl))
+}
+
+type planSpec struct {
+	depth      int
+	devices    []int
+	microShard bool
+	evaluated  int
+}
+
+type layerCounts []float64
+
+func TestDapplePrefersTwoStagePipelines(t *testing.T) {
+	// The behaviour the AutoPipe paper reports (§I, §IV-D): DAPPLE tends to
+	// produce two-stage pipelines with the embedding stage un-replicated
+	// and the bulk of layers concentrated in the replicated second stage.
+	spec, layers := makePlan(t, config.GPT2_345M(), 4, 128, 4, Options{})
+	if spec.depth != 2 {
+		t.Fatalf("depth = %d, want 2", spec.depth)
+	}
+	if spec.devices[0] != 1 {
+		t.Errorf("first stage replicated %d ways, want 1 (embedding pinned)", spec.devices[0])
+	}
+	if spec.devices[1] != 3 {
+		t.Errorf("second stage has %d devices, want 3", spec.devices[1])
+	}
+	if !spec.microShard {
+		t.Error("DAPPLE plans must use micro-batch sharding semantics")
+	}
+	// ~17-18 of 24 layers land in the replicated stage (paper: 17).
+	if layers[1] < 16 || layers[1] > 19 {
+		t.Errorf("stage 2 holds %v layers, want ~17", layers[1])
+	}
+}
+
+func TestDapple16GPUsOverReplicates(t *testing.T) {
+	// With 16 GPUs DAPPLE's linear model replicates a trailing stage beyond
+	// the micro-batch size — the runtime error of Table III.
+	spec, _ := makePlan(t, config.GPT2_345M(), 4, 128, 16, Options{})
+	max := 0
+	for _, d := range spec.devices {
+		if d > max {
+			max = d
+		}
+	}
+	if max <= 4 {
+		t.Errorf("max replication %d does not exceed micro-batch size 4 (paper: runtime error)", max)
+	}
+	if spec.devices[0] != 1 {
+		t.Errorf("embedding stage replicated %d ways, want 1", spec.devices[0])
+	}
+}
+
+func TestDappleDevicesSumToCluster(t *testing.T) {
+	for _, g := range []int{2, 4, 8, 16} {
+		spec, _ := makePlan(t, config.GPT2_345M(), 32, 512, g, Options{})
+		sum := 0
+		for _, d := range spec.devices {
+			sum += d
+		}
+		if sum != g {
+			t.Errorf("%d GPUs: devices %v sum to %d", g, spec.devices, sum)
+		}
+	}
+}
+
+func TestDappleExhaustiveSearchesMore(t *testing.T) {
+	pruned, _ := makePlan(t, config.GPT2_345M(), 4, 128, 8, Options{})
+	full, _ := makePlan(t, config.GPT2_345M(), 4, 128, 8, Options{Exhaustive: true})
+	if full.evaluated <= pruned.evaluated {
+		t.Errorf("exhaustive evaluated %d <= pruned %d", full.evaluated, pruned.evaluated)
+	}
+}
+
+func TestDappleSingleGPU(t *testing.T) {
+	spec, _ := makePlan(t, config.GPT2_345M(), 4, 128, 1, Options{})
+	if spec.depth != 1 || spec.devices[0] != 1 {
+		t.Errorf("single GPU plan: depth %d devices %v", spec.depth, spec.devices)
+	}
+}

@@ -1,0 +1,77 @@
+// Package megatron reproduces the Megatron-LM baseline the paper compares
+// against: transformer layers divided evenly across pipeline stages (the
+// embedding rides with the first stage, the output head with the last), run
+// under the 1F1B schedule, optionally with the interleaved schedule that
+// places multiple model chunks on each device to shorten startup at the cost
+// of extra memory (paper §IV-B, §IV-E-2).
+package megatron
+
+import (
+	"fmt"
+
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+)
+
+// EvenPartition returns Megatron-LM's partition of bl into p stages: L/p
+// transformer layers per stage. Megatron requires the pipeline depth to be a
+// factor of the layer count (the paper works around this by running GPT-2
+// 762M with 9 stages instead of 8).
+func EvenPartition(bl *model.Blocks, p int) (partition.Partition, error) {
+	L := bl.Model.Layers
+	if p <= 0 {
+		return partition.Partition{}, fmt.Errorf("megatron: depth must be positive, got %d", p)
+	}
+	if L%p != 0 {
+		return partition.Partition{}, fmt.Errorf("megatron: pipeline depth %d is not a factor of %d layers", p, L)
+	}
+	perStage := L / p
+	blocksPerLayer := layerBlocks(bl)
+	bounds := make([]int, p+1)
+	for i := 1; i < p; i++ {
+		// Stage boundaries fall after whole layers; the embedding block
+		// shifts every boundary by one.
+		bounds[i] = 1 + blocksPerLayer*perStage*i
+	}
+	bounds[p] = bl.Len()
+	return partition.New(bounds, bl.Len())
+}
+
+// InterleavedTimes returns the per-virtual-stage forward/backward times and
+// partition for Megatron's interleaved schedule with v chunks per device:
+// virtual stage c*p+d holds layers [(c*p+d)*L/(p*v), ...). It fails when the
+// per-stage layer count does not divide into v chunks — the constraint that
+// makes the interleaved schedule "unable to work properly with some pipeline
+// depths" in the paper's Fig. 14(b).
+func InterleavedTimes(bl *model.Blocks, p, v int) (f, b []float64, parts partition.Partition, err error) {
+	L := bl.Model.Layers
+	if L%p != 0 {
+		return nil, nil, partition.Partition{}, fmt.Errorf("megatron: depth %d is not a factor of %d layers", p, L)
+	}
+	if (L/p)%v != 0 {
+		return nil, nil, partition.Partition{}, fmt.Errorf("megatron: interleaving needs %d layers per stage divisible into %d chunks", L/p, v)
+	}
+	virt := p * v
+	perVirt := L / virt
+	blocksPerLayer := layerBlocks(bl)
+	bounds := make([]int, virt+1)
+	for i := 1; i < virt; i++ {
+		bounds[i] = 1 + blocksPerLayer*perVirt*i
+	}
+	bounds[virt] = bl.Len()
+	part, err := partition.New(bounds, bl.Len())
+	if err != nil {
+		return nil, nil, partition.Partition{}, err
+	}
+	f, b = part.StageTimes(bl)
+	return f, b, part, nil
+}
+
+// layerBlocks returns how many blocks one transformer layer occupies in bl
+// (2 at sub-layer granularity, 1 at layer granularity).
+func layerBlocks(bl *model.Blocks) int {
+	if bl.Len() == bl.Model.Layers+2 {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,87 @@
+package piper
+
+import (
+	"testing"
+
+	"autopipe/internal/config"
+	"autopipe/internal/plan"
+)
+
+func run(t *testing.T, mc config.Model, mbs, gbs, gpus int, opts Options) *plan.Spec {
+	t.Helper()
+	cl := config.DefaultCluster()
+	cl.NumGPUs = gpus
+	spec, _, err := Plan(mc, config.Run{MicroBatch: mbs, GlobalBatch: gbs, Checkpoint: true}, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestPiperLowMemoryUsesDataParallelism(t *testing.T) {
+	// Table III: with low memory demand Piper lands on complete data
+	// parallelism (4 GPUs, GPT-2 345M at micro-batch 4).
+	spec := run(t, config.GPT2_345M(), 4, 128, 4, Options{})
+	if spec.Depth() != 1 || spec.StageDevices[0] != 4 {
+		t.Errorf("low memory plan: depth %d devices %v, want 1 stage x 4", spec.Depth(), spec.StageDevices)
+	}
+}
+
+func TestPiperHighMemoryGoesDeeperThanAutoPipe(t *testing.T) {
+	// Table IV: AutoPipe picks 2 stages for GPT-2 345M at micro-batch 32 on
+	// 4 GPUs; Piper's conservative memory margin pushes it deeper.
+	spec := run(t, config.GPT2_345M(), 32, 512, 4, Options{})
+	if spec.Depth() < 3 {
+		t.Errorf("high memory plan depth %d, want >= 3 (deeper than AutoPipe's 2)", spec.Depth())
+	}
+	if !spec.RoundRobin {
+		t.Error("Piper plans use round-robin replication semantics")
+	}
+}
+
+func TestPiperAvoidsOOMOn13B(t *testing.T) {
+	// Unlike DAPPLE, Piper models memory and never plans a 2-stage pipeline
+	// for GPT-2 1.3B at micro-batch 16 (paper: Piper runs, DAPPLE OOMs).
+	for _, g := range []int{4, 8} {
+		spec := run(t, config.GPT2_1_3B(), 16, 512, g, Options{})
+		if spec.Depth() <= 2 {
+			t.Errorf("%d GPUs: depth %d would OOM on 24 GB devices", g, spec.Depth())
+		}
+	}
+}
+
+func TestPiperUsesEveryDevice(t *testing.T) {
+	for _, g := range []int{2, 4, 8, 16} {
+		spec := run(t, config.GPT2_345M(), 32, 512, g, Options{})
+		sum := 0
+		for _, d := range spec.StageDevices {
+			sum += d
+		}
+		if sum != g {
+			t.Errorf("%d GPUs: devices %v sum to %d", g, spec.StageDevices, sum)
+		}
+	}
+}
+
+func TestPiperFullSpaceSearchesMore(t *testing.T) {
+	constrained := run(t, config.GPT2_345M(), 4, 128, 8, Options{})
+	full := run(t, config.GPT2_345M(), 4, 128, 8, FullSpace())
+	if full.Evaluated <= constrained.Evaluated {
+		t.Errorf("full space evaluated %d <= constrained %d", full.Evaluated, constrained.Evaluated)
+	}
+}
+
+func TestPiperLayerGranularity(t *testing.T) {
+	// Piper plans whole layers: no stage boundary may sit inside a layer.
+	cl := config.DefaultCluster()
+	cl.NumGPUs = 4
+	spec, bl, err := Plan(config.GPT2_345M(), config.Run{MicroBatch: 32, GlobalBatch: 512, Checkpoint: true}, cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range spec.Partition.LayerCounts(bl) {
+		if c != float64(int(c)) {
+			t.Errorf("fractional layer count %v in a layer-granularity plan", c)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package config
+
+import "fmt"
+
+// The benchmark model zoo from paper Table I.
+//
+//	Model          #layers  hidden  #params (M)
+//	GPT-2 345M     24       1024    345
+//	GPT-2 762M     36       1280    762
+//	GPT-2 1.3B     24       2048    1314
+//	BERT-large     24       1024    340
+func GPT2_345M() Model {
+	return Model{
+		Name: "GPT-2 345M", Layers: 24, Hidden: 1024, Heads: 16,
+		FFNMult: 4, SeqLen: 1024, Vocab: 50257, TiedHead: true,
+	}
+}
+
+func GPT2_762M() Model {
+	return Model{
+		Name: "GPT-2 762M", Layers: 36, Hidden: 1280, Heads: 20,
+		FFNMult: 4, SeqLen: 1024, Vocab: 50257, TiedHead: true,
+	}
+}
+
+func GPT2_1_3B() Model {
+	return Model{
+		Name: "GPT-2 1.3B", Layers: 24, Hidden: 2048, Heads: 16,
+		FFNMult: 4, SeqLen: 1024, Vocab: 50257, TiedHead: true,
+	}
+}
+
+func BERTLarge() Model {
+	return Model{
+		Name: "BERT-large", Layers: 24, Hidden: 1024, Heads: 16,
+		FFNMult: 4, SeqLen: 512, Vocab: 30522, TiedHead: true, Pooler: true,
+	}
+}
+
+// Zoo returns the four benchmark models in the order of paper Table I.
+func Zoo() []Model {
+	return []Model{GPT2_345M(), GPT2_762M(), GPT2_1_3B(), BERTLarge()}
+}
+
+// ModelByName resolves a model by its canonical or short name.
+// Accepted short names: gpt2-345m, gpt2-762m, gpt2-1.3b, bert-large.
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "gpt2-345m", "GPT-2 345M":
+		return GPT2_345M(), nil
+	case "gpt2-762m", "GPT-2 762M":
+		return GPT2_762M(), nil
+	case "gpt2-1.3b", "GPT-2 1.3B":
+		return GPT2_1_3B(), nil
+	case "bert-large", "BERT-large":
+		return BERTLarge(), nil
+	}
+	return Model{}, fmt.Errorf("config: unknown model %q (want gpt2-345m, gpt2-762m, gpt2-1.3b, or bert-large)", name)
+}

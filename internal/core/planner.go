@@ -1,0 +1,222 @@
+// Package core implements the AutoPipe Planner (paper §III-B): the heuristic
+// search that starts from the balanced dynamic-programming seed of
+// Algorithm 1 and refines it by flattening Cooldown-phase bubbles (Eq. (1))
+// and by shifting the master stage forward, evaluating every candidate with
+// the analytic pipeline simulator.
+package core
+
+import (
+	"fmt"
+
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// Candidate couples a partition with its simulated outcome.
+type Candidate struct {
+	Partition partition.Partition
+	Sim       *sim.Result
+}
+
+// PlanResult is the outcome of a fixed-depth heuristic search.
+type PlanResult struct {
+	Best Candidate
+	// Evaluated counts how many partition schemes the simulator assessed —
+	// the search-effort metric behind the paper's Fig. 12 comparison.
+	Evaluated int
+	// Seed is the Algorithm 1 starting point, kept for ablations.
+	Seed Candidate
+}
+
+// PlanDepth searches for a balanced partition of bl into p stages for
+// iterations of m micro-batches.
+func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
+	if p == 1 {
+		// A single stage has no pipeline structure; simulate directly.
+		part, err := partition.New([]int{0, bl.Len()}, bl.Len())
+		if err != nil {
+			return nil, err
+		}
+		c, err := evaluate(bl, part, m)
+		if err != nil {
+			return nil, err
+		}
+		return &PlanResult{Best: c, Seed: c, Evaluated: 1}, nil
+	}
+
+	weights := bl.Weights()
+	seedPart, err := partition.Balance(weights, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: seeding depth %d: %w", p, err)
+	}
+	res := &PlanResult{}
+	seed, err := evaluate(bl, seedPart, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Seed = seed
+	res.Best = seed
+	res.Evaluated = 1
+
+	visited := map[string]bool{seedPart.Key(): true}
+	queue := []Candidate{seed}
+
+	push := func(part partition.Partition) (Candidate, bool, error) {
+		key := part.Key()
+		if visited[key] {
+			return Candidate{}, false, nil
+		}
+		visited[key] = true
+		c, err := evaluate(bl, part, m)
+		if err != nil {
+			return Candidate{}, false, err
+		}
+		res.Evaluated++
+		if c.Sim.IterTime < res.Best.Sim.IterTime {
+			res.Best = c
+		}
+		return c, true, nil
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		i := cur.Sim.Master
+
+		// Step 2: eliminate Cooldown bubbles after the master stage by
+		// redistributing the suffix so that Eq. (1) holds.
+		if adj, changed := adjustAfterMaster(bl, cur.Partition, i); changed {
+			c, fresh, err := push(adj)
+			if err != nil {
+				return nil, err
+			}
+			if fresh {
+				if c.Sim.Master != i {
+					// Master changed during adjustment: continue from the
+					// adjusted scheme (paper: "stop the adjustment and go
+					// to 3 with the adjusted partition scheme").
+					cur = c
+					i = c.Sim.Master
+				} else {
+					cur = c
+				}
+			}
+		}
+
+		// Step 3: the master stage cannot move before stage 0; stop here.
+		if i == 0 {
+			continue
+		}
+
+		for _, next := range masterMoves(bl, cur.Partition, i, weights) {
+			c, fresh, err := push(next)
+			if err != nil {
+				return nil, err
+			}
+			// Only schemes whose master moved forward (≤ i) are refined
+			// further; a receding master means the move made things worse.
+			if fresh && c.Sim.Master <= i {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return res, nil
+}
+
+func evaluate(bl *model.Blocks, part partition.Partition, m int) (Candidate, error) {
+	f, b := part.StageTimes(bl)
+	r, err := sim.Simulate(f, b, bl.Comm, m)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Partition: part, Sim: r}, nil
+}
+
+// adjustAfterMaster redistributes the blocks after master stage i so that
+// for every s > i the cumulative load satisfies Eq. (1):
+//
+//	sum_{j=i+1..s} (f_j + b_j) <= (s - i) * b_i
+//
+// which removes the bubble in the master stage's Cooldown phase (paper
+// Fig. 7(c)). It packs the suffix greedily left-to-right against the
+// cumulative allowance while keeping every stage non-empty.
+func adjustAfterMaster(bl *model.Blocks, part partition.Partition, i int) (partition.Partition, bool) {
+	p := part.Stages()
+	if i >= p-1 {
+		return part, false
+	}
+	_, bTimes := part.StageTimes(bl)
+	bi := bTimes[i]
+
+	start := part.Bounds[i+1]
+	end := part.Bounds[p]
+	nBlocks := end - start
+	nStages := p - i - 1
+	if nBlocks < nStages {
+		return part, false
+	}
+
+	out := part.Clone()
+	cum := 0.0
+	idx := start
+	for s := 1; s <= nStages; s++ { // s-th stage after the master
+		remainingStages := nStages - s
+		allowance := float64(s) * bi
+		// Take at least one block, then keep taking while the cumulative
+		// weight stays within the allowance and enough blocks remain for
+		// the later stages.
+		take := 1
+		cum += bl.List[idx].Weight()
+		for idx+take < end-remainingStages {
+			next := bl.List[idx+take].Weight()
+			if cum+next > allowance {
+				break
+			}
+			cum += next
+			take++
+		}
+		if remainingStages == 0 {
+			// Last stage absorbs whatever is left.
+			take = end - idx
+		}
+		idx += take
+		out.Bounds[i+1+s] = idx
+	}
+	if out.Equal(part) {
+		return part, false
+	}
+	return out, true
+}
+
+// masterMoves generates the paper's step-3 candidates: shift the master
+// stage forward by moving its first block to stage i-1 or its last block to
+// stage i+1, each with and without re-running Algorithm 1 on the prefix up
+// to and including the stage whose size changed.
+func masterMoves(bl *model.Blocks, part partition.Partition, i int, weights []float64) []partition.Partition {
+	var out []partition.Partition
+	p := part.Stages()
+
+	// Move the first block of stage i to stage i-1.
+	if i > 0 && part.Size(i) > 1 {
+		moved := part.Clone()
+		moved.Bounds[i]++
+		out = append(out, moved)
+		// Re-balance stages 0..i-1 over the grown prefix.
+		if reb, err := partition.BalancePrefix(moved, weights, i); err == nil && !reb.Equal(moved) {
+			out = append(out, reb)
+		}
+	}
+
+	// Move the last block of stage i to stage i+1.
+	if i < p-1 && part.Size(i) > 1 {
+		moved := part.Clone()
+		moved.Bounds[i+1]--
+		out = append(out, moved)
+		// Re-balance stages 0..i over the shrunk prefix.
+		if reb, err := partition.BalancePrefix(moved, weights, i+1); err == nil && !reb.Equal(moved) {
+			out = append(out, reb)
+		}
+	}
+	return out
+}

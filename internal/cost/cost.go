@@ -1,0 +1,289 @@
+// Package cost implements the analytic cost model that stands in for the
+// paper's offline profiling pass ("model configs ... collected offline within
+// several minutes").
+//
+// The planner only ever consumes per-block forward time f_i, backward time
+// b_i, a communication constant Comm, and per-block memory numbers. On the
+// paper's testbed those came from profiling Megatron-LM on RTX 3090s; here
+// they come from FLOP and byte counts evaluated against a device profile.
+// The analytic numbers reproduce the structure that drives every result in
+// the paper: the embedding block is parameter-heavy but compute-light, the
+// tied LM head costs several transformer layers of compute, and an FFN block
+// is roughly twice the compute of an attention block.
+package cost
+
+import (
+	"math"
+
+	"autopipe/internal/config"
+)
+
+// Kind identifies a sub-layer block type (paper Fig. 3 plus the non-layer
+// blocks that make layer-granularity partitions imbalanced).
+type Kind int
+
+const (
+	// KindEmbedding is the token+position embedding at the front of the model.
+	KindEmbedding Kind = iota
+	// KindAttention is a ResidualAttentionBlock: LayerNorm + self-attention +
+	// residual add (paper Fig. 3, left sub-block).
+	KindAttention
+	// KindFFN is a ResidualFFNBlock: LayerNorm + FFN + residual add (paper
+	// Fig. 3, right sub-block).
+	KindFFN
+	// KindHead is the output projection to the vocabulary plus loss. With a
+	// tied head the weights are shared with the embedding.
+	KindHead
+	// KindLayer is a whole transformer layer (attention + FFN fused), used
+	// at layer granularity by the baselines and ablations.
+	KindLayer
+)
+
+var kindNames = [...]string{"Embedding", "Attention", "FFN", "Head", "Layer"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "Unknown"
+}
+
+// Per-kind compute efficiency relative to peak tensor throughput at a
+// reference hidden size of 1024. Attention is dominated by softmax and s×s
+// batched matmuls at low arithmetic intensity; FFN runs large dense GEMMs;
+// the vocabulary projection is one huge GEMM close to peak. These factors
+// are the calibration knob that aligns the analytic model with the relative
+// block costs the paper profiled (its balanced partitions put ~5 of 24
+// layers with the head stage, i.e. head ≈ 1.5 transformer layers; its
+// Table III/IV iteration times back out ~0.45 efficiency at hidden 1024 and
+// ~0.73 at hidden 2048).
+const (
+	effAttention = 0.42
+	effFFN       = 0.52
+	effHead      = 0.95
+
+	// refHidden is the hidden size the base efficiencies are anchored at;
+	// larger GEMMs approach peak as (h/refHidden)^effScaleExp, capped.
+	refHidden   = 1024
+	effScaleExp = 0.6
+	effScaleCap = 0.95
+)
+
+// scaledEff grows a base efficiency with hidden size: wider layers run
+// larger matmuls at higher utilization.
+func scaledEff(base float64, hidden int) float64 {
+	e := base * math.Pow(float64(hidden)/refHidden, effScaleExp)
+	if e > effScaleCap {
+		e = effScaleCap
+	}
+	return e
+}
+
+// BlockCost carries the per-micro-batch cost of one sub-layer block.
+type BlockCost struct {
+	Kind Kind
+	// Layer is the index of the parent transformer layer, or -1 for
+	// embedding/head blocks.
+	Layer int
+	// Efficiency scales the device's peak FLOP/s for this block.
+	Efficiency float64
+
+	// FwdFlops and BwdFlops are the forward and backward FLOP counts. With
+	// activation checkpointing, the backward pass re-executes the forward
+	// pass, so backward wall time covers BwdFlops+FwdFlops.
+	FwdFlops float64
+	BwdFlops float64
+	// FwdBytes and BwdBytes are device-memory traffic for memory-bound
+	// blocks (embedding lookup/scatter); compute time is the max of the
+	// FLOP-bound and byte-bound estimates.
+	FwdBytes float64
+	BwdBytes float64
+
+	// Params is the number of parameters owned by the block. A tied head
+	// owns zero parameters (they live in the embedding block).
+	Params int64
+	// ActStash is the number of bytes stashed per in-flight micro-batch with
+	// activation checkpointing (the block's input activation).
+	ActStash int64
+	// ActPeak is the peak working-set in bytes while re-computing and
+	// back-propagating through the block.
+	ActPeak int64
+	// OutBytes is the size of the activation tensor that crosses a pipeline
+	// cut placed immediately after this block. Sub-layer cuts inside a
+	// transformer layer move exactly the residual stream, the same volume as
+	// a layer-granularity cut — the reason sub-layer granularity adds no
+	// communication overhead (paper §III-B).
+	OutBytes int64
+}
+
+// Geometry is the micro-batch geometry costs are evaluated at.
+type Geometry struct {
+	MicroBatch int
+	SeqLen     int
+	// Checkpoint mirrors config.Run.Checkpoint.
+	Checkpoint bool
+}
+
+const (
+	bytesFP16 = 2
+	bytesFP32 = 4
+)
+
+// Embedding returns the cost of the token+position embedding block.
+func Embedding(m config.Model, g Geometry) BlockCost {
+	b, s, h := float64(g.MicroBatch), float64(m.SeqLen), float64(m.Hidden)
+	if g.SeqLen > 0 {
+		s = float64(g.SeqLen)
+	}
+	tokens := b * s
+	params := int64(m.Vocab)*int64(m.Hidden) + int64(m.SeqLen)*int64(m.Hidden)
+	// A lookup moves one h-vector per token plus writes the output; the
+	// backward pass scatter-adds gradients into the table. Negligible FLOPs.
+	return BlockCost{
+		Kind:       KindEmbedding,
+		Layer:      -1,
+		Efficiency: 1,          // memory-bound: the byte terms dominate
+		FwdFlops:   tokens * h, // position add
+		BwdFlops:   tokens * h,
+		FwdBytes:   3 * tokens * h * bytesFP16,
+		BwdBytes:   4 * tokens * h * bytesFP16,
+		Params:     params,
+		ActStash:   int64(tokens) * bytesFP16 * 2, // token+position ids
+		ActPeak:    int64(2 * tokens * h * bytesFP16),
+		OutBytes:   int64(tokens * h * bytesFP16),
+	}
+}
+
+// Attention returns the cost of a ResidualAttentionBlock.
+func Attention(m config.Model, g Geometry, layer int) BlockCost {
+	b, s, h := float64(g.MicroBatch), float64(m.SeqLen), float64(m.Hidden)
+	if g.SeqLen > 0 {
+		s = float64(g.SeqLen)
+	}
+	tokens := b * s
+	// QKV projection (6bsh^2) + scores (2bs^2h) + context (2bs^2h) +
+	// output projection (2bsh^2).
+	fwd := tokens*8*h*h + 4*b*s*s*h
+	params := int64(4*m.Hidden*m.Hidden + 2*m.Hidden + 4*m.Hidden) // 4 matrices + LN + biases
+	// Peak working set during recompute: QKV (3bsh), attention matrix
+	// (b*heads*s^2), context (bsh), plus residual in/out.
+	attnMat := b * float64(m.Heads) * s * s
+	peak := (6*tokens*h + attnMat) * bytesFP16
+	return BlockCost{
+		Kind:       KindAttention,
+		Layer:      layer,
+		Efficiency: scaledEff(effAttention, m.Hidden),
+		FwdFlops:   fwd,
+		BwdFlops:   2 * fwd,
+		Params:     params,
+		ActStash:   int64(tokens * h * bytesFP16),
+		ActPeak:    int64(peak),
+		OutBytes:   int64(tokens * h * bytesFP16),
+	}
+}
+
+// FFN returns the cost of a ResidualFFNBlock.
+func FFN(m config.Model, g Geometry, layer int) BlockCost {
+	b, s, h := float64(g.MicroBatch), float64(m.SeqLen), float64(m.Hidden)
+	if g.SeqLen > 0 {
+		s = float64(g.SeqLen)
+	}
+	tokens := b * s
+	ff := float64(m.FFNMult) * h
+	fwd := tokens * 2 * h * ff * 2 // two matmuls
+	params := int64(2*m.FFNMult*m.Hidden*m.Hidden + 2*m.Hidden + m.FFNMult*m.Hidden + m.Hidden)
+	peak := (2*tokens*ff + 4*tokens*h) * bytesFP16
+	return BlockCost{
+		Kind:       KindFFN,
+		Layer:      layer,
+		Efficiency: scaledEff(effFFN, m.Hidden),
+		FwdFlops:   fwd,
+		BwdFlops:   2 * fwd,
+		Params:     params,
+		ActStash:   int64(tokens * h * bytesFP16),
+		ActPeak:    int64(peak),
+		OutBytes:   int64(tokens * h * bytesFP16),
+	}
+}
+
+// Head returns the cost of the output projection + loss block.
+func Head(m config.Model, g Geometry) BlockCost {
+	b, s, h, v := float64(g.MicroBatch), float64(m.SeqLen), float64(m.Hidden), float64(m.Vocab)
+	if g.SeqLen > 0 {
+		s = float64(g.SeqLen)
+	}
+	tokens := b * s
+	fwd := tokens * 2 * h * v // logits matmul; softmax/loss folded in
+	var params int64
+	if !m.TiedHead {
+		params = int64(m.Vocab) * int64(m.Hidden)
+	}
+	// The vocabulary softmax dominates the working set: fp16 logits (2B),
+	// an fp32 logits copy for the numerically stable softmax (4B), the fp32
+	// probabilities kept for the loss backward (4B), plus ~1B/element of
+	// label scratch and allocator slack — 11 bytes per logit element,
+	// calibrated so the paper's OOM boundaries reproduce (GPT-2 762M OOMs
+	// at micro-batch 32 on a 24 GB device while GPT-2 345M still fits).
+	peak := tokens*v*(bytesFP16+2*bytesFP32+1) + 2*tokens*h*bytesFP16
+	return BlockCost{
+		Kind:       KindHead,
+		Layer:      -1,
+		Efficiency: scaledEff(effHead, m.Hidden),
+		FwdFlops:   fwd,
+		BwdFlops:   2 * fwd,
+		Params:     params,
+		ActStash:   int64(tokens * h * bytesFP16),
+		ActPeak:    int64(peak),
+		OutBytes:   int64(tokens * h * bytesFP16),
+	}
+}
+
+// FwdTime returns the forward wall time of c on dev in seconds: the max of
+// the compute-bound and memory-bound estimates.
+func (c BlockCost) FwdTime(dev config.Device) float64 {
+	t := c.FwdFlops / (dev.FlopsPerSec * c.eff())
+	if m := c.FwdBytes / dev.MemBandwidth; m > t {
+		t = m
+	}
+	return t
+}
+
+func (c BlockCost) eff() float64 {
+	if c.Efficiency <= 0 {
+		return 1
+	}
+	return c.Efficiency
+}
+
+// BwdTime returns the backward wall time of c on dev in seconds. With
+// activation checkpointing the forward pass runs again before the backward
+// pass (paper §II-C), so checkpointed backward time covers both.
+func (c BlockCost) BwdTime(dev config.Device, checkpoint bool) float64 {
+	t := c.BwdFlops / (dev.FlopsPerSec * c.eff())
+	if m := c.BwdBytes / dev.MemBandwidth; m > t {
+		t = m
+	}
+	if checkpoint {
+		t += c.FwdTime(dev)
+	}
+	return t
+}
+
+// CommTime returns the time in seconds to move one cross-stage activation
+// (or its gradient, which has the same size) over the network. The paper
+// folds this into a single constant Comm because every cut moves the same
+// residual-stream tensor.
+func CommTime(bytes int64, net config.Network) float64 {
+	return net.Latency + float64(bytes)/net.Bandwidth
+}
+
+// AllReduceTime returns the ring-allreduce time in seconds for syncing
+// `bytes` of gradients across n replicas.
+func AllReduceTime(bytes int64, n int, net config.Network) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := float64(2 * (n - 1))
+	chunk := float64(bytes) / float64(n)
+	return steps * (net.Latency + chunk/net.Bandwidth)
+}

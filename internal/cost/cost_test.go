@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/config"
+)
+
+func geo(mbs int) Geometry { return Geometry{MicroBatch: mbs, Checkpoint: true} }
+
+func TestBlockCostStructure(t *testing.T) {
+	m := config.GPT2_345M()
+	g := geo(4)
+	dev := config.RTX3090()
+
+	emb := Embedding(m, g)
+	attn := Attention(m, g, 0)
+	ffn := FFN(m, g, 0)
+	head := Head(m, g)
+
+	// The structural facts the paper's partitioning results rest on.
+	if emb.FwdTime(dev) > 0.1*attn.FwdTime(dev) {
+		t.Errorf("embedding compute (%.3g) should be negligible next to attention (%.3g)",
+			emb.FwdTime(dev), attn.FwdTime(dev))
+	}
+	if emb.Params < attn.Params {
+		t.Errorf("embedding params (%d) should dwarf a sub-block's (%d)", emb.Params, attn.Params)
+	}
+	layer := attn.FwdTime(dev) + ffn.FwdTime(dev)
+	ratio := head.FwdTime(dev) / layer
+	if ratio < 1.2 || ratio > 2.5 {
+		t.Errorf("head costs %.2f transformer layers, want ~1.5 (paper's balanced partitions)", ratio)
+	}
+	if ffn.FwdFlops < 1.2*attn.FwdFlops {
+		t.Errorf("FFN flops (%.3g) should exceed attention's (%.3g)", ffn.FwdFlops, attn.FwdFlops)
+	}
+	// A tied head owns no parameters.
+	if head.Params != 0 {
+		t.Errorf("tied head owns %d params, want 0", head.Params)
+	}
+	untied := m
+	untied.TiedHead = false
+	if h := Head(untied, g); h.Params != int64(m.Vocab)*int64(m.Hidden) {
+		t.Errorf("untied head params %d, want %d", h.Params, int64(m.Vocab)*int64(m.Hidden))
+	}
+}
+
+func TestSubLayerCutsPreserveCommVolume(t *testing.T) {
+	// Paper §III-B: every cut moves the residual stream, so OutBytes is
+	// identical for attention, FFN, and embedding blocks.
+	m := config.GPT2_345M()
+	g := geo(8)
+	emb := Embedding(m, g)
+	attn := Attention(m, g, 3)
+	ffn := FFN(m, g, 3)
+	if emb.OutBytes != attn.OutBytes || attn.OutBytes != ffn.OutBytes {
+		t.Errorf("cut volumes differ: emb %d, attn %d, ffn %d", emb.OutBytes, attn.OutBytes, ffn.OutBytes)
+	}
+	want := int64(8 * m.SeqLen * m.Hidden * 2)
+	if attn.OutBytes != want {
+		t.Errorf("residual stream is %d bytes, want %d", attn.OutBytes, want)
+	}
+}
+
+func TestCheckpointingMakesBackwardCoverRecompute(t *testing.T) {
+	m := config.GPT2_345M()
+	g := geo(4)
+	dev := config.RTX3090()
+	attn := Attention(m, g, 0)
+	with := attn.BwdTime(dev, true)
+	without := attn.BwdTime(dev, false)
+	fwd := attn.FwdTime(dev)
+	if diff := with - without; diff < fwd*0.99 || diff > fwd*1.01 {
+		t.Errorf("checkpointed backward adds %.3g, want one forward %.3g", diff, fwd)
+	}
+}
+
+func TestCostsScaleLinearlyWithMicroBatch(t *testing.T) {
+	m := config.GPT2_345M()
+	prop := func(mbsRaw uint8) bool {
+		mbs := 1 + int(mbsRaw%16)
+		a := Attention(m, geo(mbs), 0)
+		b := Attention(m, geo(2*mbs), 0)
+		return b.FwdFlops == 2*a.FwdFlops && b.ActStash == 2*a.ActStash && b.OutBytes == 2*a.OutBytes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyScalesWithHiddenSize(t *testing.T) {
+	// Wider models run larger GEMMs closer to peak: at equal FLOPs the
+	// 2048-hidden model must be faster per FLOP than the 1024-hidden one.
+	small := Attention(config.GPT2_345M(), geo(4), 0)
+	large := Attention(config.GPT2_1_3B(), geo(4), 0)
+	if large.Efficiency <= small.Efficiency {
+		t.Errorf("efficiency did not grow with hidden size: %.3f vs %.3f", large.Efficiency, small.Efficiency)
+	}
+	if large.Efficiency > effScaleCap {
+		t.Errorf("efficiency %.3f exceeds cap %.3f", large.Efficiency, effScaleCap)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	net := config.Network{Bandwidth: 1e9, Latency: 1e-5}
+	if got, want := CommTime(1e6, net), 1e-5+1e-3; got != want {
+		t.Errorf("CommTime = %v, want %v", got, want)
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	net := config.Network{Bandwidth: 1e9, Latency: 0}
+	if got := AllReduceTime(1e9, 1, net); got != 0 {
+		t.Errorf("single replica all-reduce %v, want 0", got)
+	}
+	// Ring all-reduce moves 2(n-1)/n of the data.
+	got := AllReduceTime(1e9, 4, net)
+	want := 2.0 * 3 / 4
+	if got != want {
+		t.Errorf("AllReduceTime = %v, want %v", got, want)
+	}
+	// More replicas never make the sync cheaper than the bandwidth bound.
+	if t8 := AllReduceTime(1e9, 8, net); t8 < got {
+		t.Errorf("8-way all-reduce (%v) cheaper than 4-way (%v)", t8, got)
+	}
+}
+
+func TestHeadPeakDominatesMemory(t *testing.T) {
+	// The vocabulary softmax working set is the largest activation buffer —
+	// the term behind every OOM boundary in the paper.
+	m := config.GPT2_345M()
+	g := geo(32)
+	head := Head(m, g)
+	ffn := FFN(m, g, 0)
+	if head.ActPeak < 8*ffn.ActPeak {
+		t.Errorf("head peak %d should dwarf FFN peak %d", head.ActPeak, ffn.ActPeak)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindEmbedding: "Embedding", KindAttention: "Attention",
+		KindFFN: "FFN", KindHead: "Head", KindLayer: "Layer",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Unknown" {
+		t.Error("out-of-range kind should print Unknown")
+	}
+}

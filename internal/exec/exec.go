@@ -1,0 +1,264 @@
+// Package exec is the discrete-event cluster executor — the reproduction's
+// stand-in for the paper's 16-GPU Megatron-LM testbed.
+//
+// It runs a concrete schedule (package schedule) over simulated devices
+// connected by full-duplex point-to-point links. Unlike the planner's
+// analytic simulator (package sim), the executor models per-operation launch
+// overhead, per-message latency and bandwidth, link serialization, and
+// optional deterministic jitter. Those second-order effects are exactly what
+// makes the paper's Fig. 11 "actual" curve sit at a stable offset above the
+// simulator curve.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"autopipe/internal/config"
+	"autopipe/internal/schedule"
+)
+
+// Config parameterizes one execution.
+type Config struct {
+	// VirtFwd and VirtBwd are the per-virtual-stage forward and backward
+	// compute times in seconds (half ops take half the forward time).
+	VirtFwd, VirtBwd []float64
+	// CommBytes is the cross-stage activation (and gradient) payload.
+	CommBytes int64
+	// Network provides link latency and bandwidth.
+	Network config.Network
+	// KernelOverhead is a fixed per-operation launch cost.
+	KernelOverhead float64
+	// Jitter, if positive, scales deterministic pseudo-random noise applied
+	// multiplicatively to compute times (e.g. 0.02 for ±2%).
+	Jitter float64
+	// Seed selects the jitter stream.
+	Seed uint64
+}
+
+// OpTrace records one executed operation.
+type OpTrace struct {
+	Op         schedule.Op
+	Device     int
+	Start, End float64
+}
+
+// Result is the outcome of executing a schedule.
+type Result struct {
+	// IterTime is the makespan: the end of the last operation.
+	IterTime float64
+	// Startup is the start time of the first compute op on the last device:
+	// the moment the last pipeline stage has received the activations of the
+	// first micro-batch (the paper's startup-overhead metric).
+	Startup float64
+	// Traces holds per-device executed ops in issue order.
+	Traces [][]OpTrace
+	// Busy is per-device total compute time.
+	Busy []float64
+}
+
+type msgKey struct {
+	kind  schedule.OpKind
+	virt  int // producer's virtual stage
+	micro int
+	half  int
+}
+
+// Run executes s under cfg.
+func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.VirtFwd) != s.VirtStages || len(cfg.VirtBwd) != s.VirtStages {
+		return nil, fmt.Errorf("exec: schedule has %d virtual stages, config has %d fwd / %d bwd times",
+			s.VirtStages, len(cfg.VirtFwd), len(cfg.VirtBwd))
+	}
+
+	rng := jitterStream{state: cfg.Seed*2862933555777941757 + 3037000493}
+	arrived := map[msgKey]float64{}
+	// pendingHalf holds the compute end of a NoSend half, released by the
+	// sibling's aggregated send.
+	pendingHalf := map[msgKey]float64{}
+	linkFree := map[[2]int]float64{}
+	devFree := make([]float64, s.Devices)
+	next := make([]int, s.Devices)
+	res := &Result{Traces: make([][]OpTrace, s.Devices), Busy: make([]float64, s.Devices)}
+	res.Startup = math.NaN()
+
+	remaining := 0
+	for _, ops := range s.Ops {
+		remaining += len(ops)
+	}
+
+	transfer := func(from, to int, bytes int64, ready float64) float64 {
+		if from == to {
+			return ready
+		}
+		key := [2]int{from, to}
+		start := ready
+		if linkFree[key] > start {
+			start = linkFree[key]
+		}
+		arrival := start + cfg.Network.Latency + float64(bytes)/cfg.Network.Bandwidth
+		linkFree[key] = arrival - cfg.Network.Latency
+		return arrival
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for d := 0; d < s.Devices; d++ {
+			for next[d] < len(s.Ops[d]) {
+				op := s.Ops[d][next[d]]
+				ready, inputAt := inputsReady(op, s, arrived)
+				if !ready {
+					break
+				}
+				start := devFree[d]
+				if inputAt > start {
+					start = inputAt
+				}
+				start += cfg.KernelOverhead
+				dur := opDuration(op, cfg, &rng)
+				end := start + dur
+				devFree[d] = end
+				res.Busy[d] += dur
+				res.Traces[d] = append(res.Traces[d], OpTrace{Op: op, Device: d, Start: start, End: end})
+				if d == s.Devices-1 && math.IsNaN(res.Startup) {
+					res.Startup = start - cfg.KernelOverhead
+				}
+				deliver(op, s, cfg, end, arrived, pendingHalf, transfer)
+				next[d]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("exec: schedule %s deadlocked with %d ops remaining", s.Name, remaining)
+		}
+	}
+
+	for _, traces := range res.Traces {
+		for _, tr := range traces {
+			if tr.End > res.IterTime {
+				res.IterTime = tr.End
+			}
+		}
+	}
+	if math.IsNaN(res.Startup) {
+		res.Startup = 0
+	}
+	return res, nil
+}
+
+// inputsReady reports whether op's cross-stage input (if any) has arrived,
+// and at what time.
+func inputsReady(op schedule.Op, s *schedule.Schedule, arrived map[msgKey]float64) (bool, float64) {
+	var need msgKey
+	switch {
+	case op.Kind == schedule.Fwd && op.Virt > 0:
+		need = msgKey{schedule.Fwd, op.Virt - 1, op.Micro, op.Half}
+	case op.Kind == schedule.Bwd && op.Virt < s.VirtStages-1:
+		need = msgKey{schedule.Bwd, op.Virt + 1, op.Micro, op.Half}
+	default:
+		return true, 0
+	}
+	at, ok := arrived[need]
+	return ok, at
+}
+
+// opDuration returns op's compute time, with optional jitter.
+func opDuration(op schedule.Op, cfg Config, rng *jitterStream) float64 {
+	var dur float64
+	if op.Kind == schedule.Fwd {
+		dur = cfg.VirtFwd[op.Virt]
+	} else {
+		dur = cfg.VirtBwd[op.Virt]
+	}
+	if op.Half >= 0 {
+		dur /= 2
+	}
+	if cfg.Jitter > 0 {
+		dur *= 1 + cfg.Jitter*rng.next()
+	}
+	return dur
+}
+
+// deliver schedules op's output transfer (if any) and deposits the arrival
+// times consumers wait on.
+func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
+	arrived, pendingHalf map[msgKey]float64, transfer func(from, to int, bytes int64, ready float64) float64) {
+
+	var destVirt int
+	switch {
+	case op.Kind == schedule.Fwd && op.Virt < s.VirtStages-1:
+		destVirt = op.Virt + 1
+	case op.Kind == schedule.Bwd && op.Virt > 0:
+		destVirt = op.Virt - 1
+	default:
+		return
+	}
+	from := s.DeviceOf[op.Virt]
+	to := s.DeviceOf[destVirt]
+	self := msgKey{op.Kind, op.Virt, op.Micro, op.Half}
+
+	switch {
+	case op.NoSend:
+		// Payload parked until the sibling half's aggregated send.
+		pendingHalf[self] = end
+	case op.AggSend:
+		sibling := msgKey{op.Kind, op.Virt, op.Micro, (op.Half + 1) % 2}
+		ready := end
+		if t, ok := pendingHalf[sibling]; ok && t > ready {
+			ready = t
+		}
+		delete(pendingHalf, sibling)
+		arrival := transfer(from, to, cfg.CommBytes, ready) // both halves in one message
+		arrived[self] = arrival
+		arrived[sibling] = arrival
+	default:
+		bytes := cfg.CommBytes
+		if op.Half >= 0 {
+			bytes /= 2
+		}
+		arrived[self] = transfer(from, to, bytes, end)
+	}
+}
+
+// jitterStream is a splitmix64-style deterministic noise source in [0,1).
+type jitterStream struct{ state uint64 }
+
+func (j *jitterStream) next() float64 {
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Gantt renders a text timeline, one device per row, for debugging and the
+// pipesim tool.
+func (r *Result) Gantt() string {
+	var sb strings.Builder
+	for d, traces := range r.Traces {
+		fmt.Fprintf(&sb, "dev %d:", d)
+		for _, tr := range traces {
+			fmt.Fprintf(&sb, " %s[%.2f,%.2f]", tr.Op, tr.Start*1e3, tr.End*1e3)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Utilization returns per-device busy fraction of the makespan.
+func (r *Result) Utilization() []float64 {
+	out := make([]float64, len(r.Busy))
+	if r.IterTime <= 0 {
+		return out
+	}
+	for i, b := range r.Busy {
+		out[i] = b / r.IterTime
+	}
+	return out
+}

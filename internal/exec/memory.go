@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+
+	"autopipe/internal/schedule"
+)
+
+// MemoryLedger tracks per-device activation memory across an executed
+// schedule: a forward stashes its micro-batch's activations until the
+// matching backward releases them. It complements the static estimator in
+// package memory by measuring the actual in-flight peak of a concrete
+// schedule instead of the closed-form 1F1B bound — the two are
+// cross-checked in tests.
+type MemoryLedger struct {
+	// StashBytes is the per-virtual-stage activation stash of one
+	// micro-batch (halved for half ops).
+	StashBytes []int64
+	// StaticBytes is the per-device resident footprint (parameters,
+	// optimizer state, framework overhead) independent of scheduling.
+	StaticBytes []int64
+}
+
+// PeakUsage replays the executed trace in event order and returns the peak
+// memory per device.
+func (l *MemoryLedger) PeakUsage(s *schedule.Schedule, r *Result) ([]int64, error) {
+	if len(l.StashBytes) != s.VirtStages {
+		return nil, fmt.Errorf("exec: ledger has %d stage stashes, schedule has %d virtual stages",
+			len(l.StashBytes), s.VirtStages)
+	}
+	var events []event
+	for d, traces := range r.Traces {
+		for _, tr := range traces {
+			bytes := l.StashBytes[tr.Op.Virt]
+			if tr.Op.Half >= 0 {
+				bytes /= 2
+			}
+			switch tr.Op.Kind {
+			case schedule.Fwd:
+				// The stash materializes during the forward.
+				events = append(events, event{tr.Start, d, bytes})
+			case schedule.Bwd:
+				// The backward releases the whole micro-batch (both halves
+				// if the forwards were sliced) when it finishes.
+				events = append(events, event{tr.End, d, -stashOfMicro(l, s, tr.Op)})
+			}
+		}
+	}
+	// Stable in-time order; frees at equal timestamps apply first so a
+	// back-to-back release/alloc pair is not double-counted.
+	sortEvents(events)
+
+	usage := make([]int64, s.Devices)
+	peak := make([]int64, s.Devices)
+	copy(usage, l.StaticBytes)
+	copy(peak, l.StaticBytes)
+	for _, e := range events {
+		usage[e.device] += e.delta
+		if usage[e.device] > peak[e.device] {
+			peak[e.device] = usage[e.device]
+		}
+	}
+	for d, u := range usage {
+		if u != l.static(d) {
+			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
+		}
+	}
+	return peak, nil
+}
+
+func (l *MemoryLedger) static(d int) int64 {
+	if d < len(l.StaticBytes) {
+		return l.StaticBytes[d]
+	}
+	return 0
+}
+
+// stashOfMicro returns the bytes a backward op releases: one full
+// micro-batch stash for its virtual stage.
+func stashOfMicro(l *MemoryLedger, s *schedule.Schedule, op schedule.Op) int64 {
+	return l.StashBytes[op.Virt]
+}
+
+func sortEvents(events []event) {
+	// Insertion sort keeps the implementation dependency-free; traces are
+	// already mostly ordered so this is near-linear in practice.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && less(events[j], events[j-1]); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+type event struct {
+	at     float64
+	device int
+	delta  int64
+}
+
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.delta < b.delta // frees first
+}

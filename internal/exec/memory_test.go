@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"testing"
+
+	"autopipe/internal/schedule"
+)
+
+func ledger(p int, stash int64) *MemoryLedger {
+	l := &MemoryLedger{StashBytes: make([]int64, p), StaticBytes: make([]int64, p)}
+	for i := range l.StashBytes {
+		l.StashBytes[i] = stash
+	}
+	return l
+}
+
+// TestLedgerMatches1F1BInFlightBound: the executed peak of a 1F1B schedule
+// equals the closed-form in-flight bound min(m, p-k) stashes per stage —
+// the cross-check between the dynamic ledger and the static estimator in
+// package memory.
+func TestLedgerMatches1F1BInFlightBound(t *testing.T) {
+	for _, tc := range []struct{ p, m int }{{2, 4}, {4, 8}, {4, 2}, {8, 16}} {
+		s, err := schedule.OneFOneB(tc.p, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(s, uniformCfg(tc.p, 1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const stash = 1000
+		peak, err := ledger(tc.p, stash).PeakUsage(s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < tc.p; k++ {
+			want := int64(tc.p-k) * stash
+			if m := int64(tc.m) * stash; want > m {
+				want = m
+			}
+			if peak[k] != want {
+				t.Errorf("p=%d m=%d stage %d: peak %d, want %d", tc.p, tc.m, k, peak[k], want)
+			}
+		}
+	}
+}
+
+// TestLedgerGPipeHoldsEverything: GPipe's peak is all m micro-batches.
+func TestLedgerGPipeHoldsEverything(t *testing.T) {
+	p, m := 4, 8
+	s, _ := schedule.GPipe(p, m)
+	r, err := Run(s, uniformCfg(p, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := ledger(p, 10).PeakUsage(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, got := range peak {
+		if got != int64(m)*10 {
+			t.Errorf("stage %d: peak %d, want %d", k, got, m*10)
+		}
+	}
+}
+
+// TestLedgerSlicedDoesNotIncreasePeak: the paper's claim that micro-batch
+// slicing adds no memory — the halves replace the whole, never exceed it.
+func TestLedgerSlicedDoesNotIncreasePeak(t *testing.T) {
+	p, m := 4, 8
+	base, _ := schedule.OneFOneB(p, m)
+	cfg := uniformCfg(p, 1, 3)
+	rb, err := Run(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakBase, err := ledger(p, 1000).PeakUsage(base, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sliced := 1; sliced <= 3; sliced++ {
+		sl, err := schedule.Sliced(p, m, sliced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Run(sl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, err := ledger(p, 1000).PeakUsage(sl, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range peak {
+			if peak[k] > peakBase[k] {
+				t.Errorf("sliced=%d stage %d: peak %d exceeds 1F1B peak %d", sliced, k, peak[k], peakBase[k])
+			}
+		}
+	}
+}
+
+// TestLedgerInterleavedStashesMore: the interleaved schedule's deeper warmup
+// holds more activations than plain 1F1B on the first device — the memory
+// pressure behind the paper's Fig. 14(a) OOM.
+func TestLedgerInterleavedStashesMore(t *testing.T) {
+	p, m, v := 4, 8, 2
+	plain, _ := schedule.OneFOneB(p, m)
+	rp, err := Run(plain, uniformCfg(p, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakPlain, err := ledger(p, 1000).PeakUsage(plain, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inter, err := schedule.Interleaved(p, m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Run(inter, uniformCfg(p*v, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each virtual stage holds half a device's stash.
+	il := &MemoryLedger{StashBytes: make([]int64, p*v), StaticBytes: make([]int64, p)}
+	for i := range il.StashBytes {
+		il.StashBytes[i] = 500
+	}
+	peakInter, err := il.PeakUsage(inter, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakInter[0] <= peakPlain[0] {
+		t.Errorf("interleaved device-0 peak %d not above 1F1B %d", peakInter[0], peakPlain[0])
+	}
+}
+
+// TestLedgerStaticBaseline: static bytes are counted into the peak.
+func TestLedgerStaticBaseline(t *testing.T) {
+	p, m := 2, 2
+	s, _ := schedule.OneFOneB(p, m)
+	r, err := Run(s, uniformCfg(p, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ledger(p, 100)
+	l.StaticBytes = []int64{10000, 20000}
+	peak, err := l.PeakUsage(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak[0] <= 10000 || peak[1] <= 20000 {
+		t.Errorf("static baseline not included: %v", peak)
+	}
+}
+
+func TestLedgerRejectsMismatch(t *testing.T) {
+	s, _ := schedule.OneFOneB(4, 4)
+	r, err := Run(s, uniformCfg(4, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger(3, 10).PeakUsage(s, r); err == nil {
+		t.Error("want error for mismatched stash table")
+	}
+}

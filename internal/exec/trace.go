@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autopipe/internal/schedule"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("traceEvents"),
+// loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`  // microseconds
+	Dur  int64  `json:"dur"` // microseconds
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChromeTrace emits the executed timeline in the Chrome trace-event
+// JSON format: one track per device, forwards and backwards as complete
+// events. Open the file in chrome://tracing or ui.perfetto.dev.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for d, traces := range r.Traces {
+		for _, tr := range traces {
+			cat := "fwd"
+			if tr.Op.Kind == schedule.Bwd {
+				cat = "bwd"
+			}
+			events = append(events, chromeEvent{
+				Name: tr.Op.String(),
+				Cat:  cat,
+				Ph:   "X",
+				TS:   int64(tr.Start * 1e6),
+				Dur:  int64((tr.End - tr.Start) * 1e6),
+				PID:  0,
+				TID:  d,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// CriticalPath reconstructs the critical path of an executed schedule from
+// the trace: starting at the op that ends last, it repeatedly steps to the
+// predecessor whose completion the current op was waiting on — the previous
+// op on the same device if the device was busy until this op's start,
+// otherwise the producer of the op's cross-stage input. It is the executed
+// counterpart of the analytic simulator's critical path (paper §III-B) and
+// the tests check the two agree on plain 1F1B pipelines.
+func (r *Result) CriticalPath(s *schedule.Schedule) ([]OpTrace, error) {
+	type key struct {
+		kind  schedule.OpKind
+		virt  int
+		micro int
+		half  int
+	}
+	byOp := map[key]OpTrace{}
+	prevOn := map[int][]OpTrace{} // device -> issue order
+	for d, traces := range r.Traces {
+		for _, tr := range traces {
+			byOp[key{tr.Op.Kind, tr.Op.Virt, tr.Op.Micro, tr.Op.Half}] = tr
+			prevOn[d] = append(prevOn[d], tr)
+		}
+	}
+	var last OpTrace
+	found := false
+	for _, traces := range r.Traces {
+		for _, tr := range traces {
+			if !found || tr.End > last.End {
+				last, found = tr, true
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("exec: empty trace")
+	}
+
+	var rev []OpTrace
+	cur := last
+	for {
+		rev = append(rev, cur)
+		// Candidate predecessors: the previous op on the same device and the
+		// cross-stage producer. The one that finished later is the binding
+		// dependency; ties resolve toward the higher stage, matching the
+		// analytic simulator's uniqueness rule.
+		var candidates []OpTrace
+		list := prevOn[cur.Device]
+		for i := range list {
+			if list[i] == cur && i > 0 {
+				candidates = append(candidates, list[i-1])
+			}
+		}
+		var producer key
+		hasProducer := true
+		switch {
+		case cur.Op.Kind == schedule.Fwd && cur.Op.Virt > 0:
+			producer = key{schedule.Fwd, cur.Op.Virt - 1, cur.Op.Micro, cur.Op.Half}
+		case cur.Op.Kind == schedule.Bwd && cur.Op.Virt < s.VirtStages-1:
+			producer = key{schedule.Bwd, cur.Op.Virt + 1, cur.Op.Micro, cur.Op.Half}
+		default:
+			hasProducer = false
+		}
+		if hasProducer {
+			p, ok := byOp[producer]
+			if !ok {
+				// A half consumed via an aggregated send: the sibling half's
+				// op carried the payload.
+				producer.half = (producer.half + 1) % 2
+				p, ok = byOp[producer]
+			}
+			if ok {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) == 0 {
+			reverse(rev)
+			return rev, nil
+		}
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.End > best.End || (c.End == best.End && cur.Op.Kind == schedule.Bwd && c.Op.Virt > best.Op.Virt) {
+				best = c
+			}
+		}
+		cur = best
+	}
+}
+
+func reverse(ops []OpTrace) {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+}

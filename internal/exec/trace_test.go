@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/config"
+	"autopipe/internal/schedule"
+	"autopipe/internal/sim"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	s, _ := schedule.OneFOneB(2, 3)
+	r, err := Run(s, uniformCfg(2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * 2; len(doc.TraceEvents) != want {
+		t.Fatalf("%d events, want %d", len(doc.TraceEvents), want)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 || (e.Cat != "fwd" && e.Cat != "bwd") {
+			t.Errorf("bad event %+v", e)
+		}
+	}
+}
+
+func TestCriticalPathSpansIteration(t *testing.T) {
+	s, _ := schedule.OneFOneB(4, 8)
+	cfg := uniformCfg(4, 1, 2)
+	cfg.CommBytes = 1 << 20
+	cfg.Network = config.Network{Bandwidth: 1e9, Latency: 1e-4}
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.CriticalPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path of length %d", len(path))
+	}
+	first, last := path[0], path[len(path)-1]
+	if first.Op.Kind != schedule.Fwd || first.Op.Micro != 0 || first.Op.Virt != 0 {
+		t.Errorf("path starts at %v, want F0@s0", first.Op)
+	}
+	if last.End != r.IterTime {
+		t.Errorf("path ends at %v, want makespan %v", last.End, r.IterTime)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Start < path[i-1].End-1e-12 {
+			// Comm delay is fine; causality inversion is not.
+			if path[i].Start < path[i-1].Start {
+				t.Errorf("path not causal at %d: %v then %v", i, path[i-1].Op, path[i].Op)
+			}
+		}
+	}
+}
+
+// TestExecMatchesSimWithoutOverheads cross-validates the two timing models:
+// with zero launch overhead, zero latency, and effectively infinite
+// bandwidth, the discrete-event executor and the analytic simulator agree on
+// the 1F1B iteration time exactly.
+func TestExecMatchesSimWithoutOverheads(t *testing.T) {
+	prop := func(seed uint8, pRaw, mRaw uint8) bool {
+		p := 2 + int(pRaw)%5
+		m := p + int(mRaw)%10
+		rng := uint64(seed)*2654435761 + 1
+		next := func() float64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return 1 + float64(rng%100)/25
+		}
+		f := make([]float64, p)
+		b := make([]float64, p)
+		for i := range f {
+			f[i] = next()
+			b[i] = 2 * f[i]
+		}
+		sr, err := sim.Simulate(f, b, 0, m)
+		if err != nil {
+			return false
+		}
+		s, err := schedule.OneFOneB(p, m)
+		if err != nil {
+			return false
+		}
+		er, err := Run(s, Config{
+			VirtFwd: f, VirtBwd: b,
+			Network: config.Network{Bandwidth: 1e18, Latency: 0},
+		})
+		if err != nil {
+			return false
+		}
+		diff := sr.IterTime - er.IterTime
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+sr.IterTime)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimUpperBoundsExecWithComm: the paper's simulator charges Comm on
+// every cross-stage op regardless of which dependency binds, so with real
+// communication it can only be at or above the executor's dependency-exact
+// timing.
+func TestSimUpperBoundsExecWithComm(t *testing.T) {
+	prop := func(seed uint8) bool {
+		p, m := 4, 8
+		rng := uint64(seed) + 7
+		next := func() float64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return 1 + float64(rng%50)/25
+		}
+		f := make([]float64, p)
+		b := make([]float64, p)
+		for i := range f {
+			f[i] = next()
+			b[i] = 3 * f[i]
+		}
+		const comm = 0.05
+		sr, err := sim.Simulate(f, b, comm, m)
+		if err != nil {
+			return false
+		}
+		s, _ := schedule.OneFOneB(p, m)
+		er, err := Run(s, Config{
+			VirtFwd: f, VirtBwd: b,
+			CommBytes: 1,
+			Network:   config.Network{Bandwidth: 1e18, Latency: comm},
+		})
+		if err != nil {
+			return false
+		}
+		return sr.IterTime >= er.IterTime-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autopipe/internal/config"
+)
+
+// These tests pin the paper's shape claims: who wins, by roughly what
+// factor, and where the crossovers and failures fall. Absolute numbers
+// come from the simulated testbed and are recorded in EXPERIMENTS.md; the
+// assertions here use generous bands around the paper's reported ranges.
+
+func TestTable1ParamsMatchPaper(t *testing.T) {
+	e := DefaultEnv()
+	tab, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]float64{ // acceptable millions-of-params band
+		"GPT-2 345M": {330, 380},
+		"GPT-2 762M": {730, 800},
+		"GPT-2 1.3B": {1250, 1380},
+		"BERT-large": {320, 360},
+	}
+	for _, row := range tab.Rows {
+		band, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected model %q", row[0])
+			continue
+		}
+		var params float64
+		if _, err := sscan(row[3], &params); err != nil {
+			t.Fatalf("bad params cell %q", row[3])
+		}
+		if params < band[0] || params > band[1] {
+			t.Errorf("%s: %v M params outside paper band %v", row[0], params, band)
+		}
+	}
+}
+
+func TestTable2BalancedSchemesBeatTheWorst(t *testing.T) {
+	e := DefaultEnv()
+	tab, err := e.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table II has %d schemes, want 7", len(tab.Rows))
+	}
+	// Scheme 1 (even-ish: 5/7/6/6 with the head on a 6-layer stage) must be
+	// the slowest; scheme 4 (the planner's own choice, 6.5/6.5/6.5/4.5)
+	// must be the fastest.
+	var iters []float64
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := sscan(row[5], &v); err != nil {
+			t.Fatal(err)
+		}
+		iters = append(iters, v)
+	}
+	for i, v := range iters {
+		if v > iters[0]+1e-9 {
+			t.Errorf("scheme %d (%.1f ms) slower than scheme 1 (%.1f ms)", i+1, v, iters[0])
+		}
+		if v < iters[3]-1e-9 {
+			t.Errorf("scheme %d (%.1f ms) faster than scheme 4 (%.1f ms)", i+1, v, iters[3])
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	e := DefaultEnv()
+	points, _, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		mega := p.Results[SeriesMegatron]
+		auto := p.Results[SeriesAutoPipe]
+		planner := p.Results[SeriesPlanner]
+		slicer := p.Results[SeriesSlicer]
+
+		// GPT-2 762M OOMs at micro-batch 32 under the even partition — the
+		// paper's reason to cap its sweep at 24.
+		if p.Model == "GPT-2 762M" && p.Mbs == 32 {
+			if !mega.OOM || !slicer.OOM {
+				t.Errorf("762M mbs=32: Megatron/Slicer should OOM, got %+v / %+v", mega, slicer)
+			}
+			continue
+		}
+		if mega.OOM || auto.OOM {
+			t.Errorf("%s mbs=%d: unexpected OOM", p.Model, p.Mbs)
+			continue
+		}
+		speedup := mega.IterTime / auto.IterTime
+		if speedup < 1.02 || speedup > 1.25 {
+			t.Errorf("%s mbs=%d: AutoPipe speedup %.3fx outside the paper band [1.02,1.25]", p.Model, p.Mbs, speedup)
+		}
+		// Each component helps on its own at depth 4.
+		if planner.IterTime >= mega.IterTime {
+			t.Errorf("%s mbs=%d: Planner (%.1f ms) no better than Megatron (%.1f ms)",
+				p.Model, p.Mbs, planner.IterTime*1e3, mega.IterTime*1e3)
+		}
+		if slicer.IterTime >= mega.IterTime {
+			t.Errorf("%s mbs=%d: Slicer (%.1f ms) no better than Megatron (%.1f ms)",
+				p.Model, p.Mbs, slicer.IterTime*1e3, mega.IterTime*1e3)
+		}
+		// Combining both wins over either alone.
+		if auto.IterTime >= planner.IterTime || auto.IterTime >= slicer.IterTime {
+			t.Errorf("%s mbs=%d: AutoPipe not the best of its parts", p.Model, p.Mbs)
+		}
+	}
+}
+
+func TestFig10SpeedupGrowsWithDepth(t *testing.T) {
+	e := DefaultEnv()
+	points, _, err := e.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, p := range points {
+		mega := p.Results[SeriesMegatron]
+		auto := p.Results[SeriesAutoPipe]
+		speedup := mega.IterTime / auto.IterTime
+		if speedup < 1.0 || speedup > 1.45 {
+			t.Errorf("%s depth=%d: speedup %.3fx outside [1.0,1.45]", p.Model, p.Depth, speedup)
+		}
+		// The paper's trend: improvement grows with pipeline depth.
+		if prev, ok := last[p.Model]; ok && speedup < prev-0.01 {
+			t.Errorf("%s depth=%d: speedup %.3fx fell below shallower depth's %.3fx", p.Model, p.Depth, speedup, prev)
+		}
+		last[p.Model] = speedup
+	}
+	// At the deepest pipelines the advantage reaches the ~1.3x headline.
+	if last["GPT-2 345M"] < 1.25 {
+		t.Errorf("GPT-2 345M deep-pipeline speedup %.3fx, want >= 1.25 (paper: 1.30x)", last["GPT-2 345M"])
+	}
+}
+
+func TestFig11SimulatorTracksActual(t *testing.T) {
+	e := DefaultEnv()
+	points, _, err := e.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("Fig 11 has %d schemes, want 7", len(points))
+	}
+	var gaps []float64
+	for _, p := range points {
+		gap := p.Actual - p.Simulated
+		if gap <= 0 {
+			t.Errorf("scheme %d: actual (%.2f ms) not above simulated (%.2f ms)", p.SchemeID, p.Actual*1e3, p.Simulated*1e3)
+		}
+		gaps = append(gaps, gap)
+	}
+	// The gap must be stable across schemes (paper: "relatively stable"):
+	// max deviation within 50% of the mean gap.
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for i, g := range gaps {
+		if g < mean*0.5 || g > mean*1.5 {
+			t.Errorf("scheme %d: gap %.2f ms not stable around mean %.2f ms", i+1, g*1e3, mean*1e3)
+		}
+	}
+	// And the trend must agree: the scheme ordering by simulated time
+	// matches the ordering by actual time for the extremes.
+	worstSim, bestSim, worstAct, bestAct := 0, 0, 0, 0
+	for i, p := range points {
+		if p.Simulated > points[worstSim].Simulated {
+			worstSim = i
+		}
+		if p.Simulated < points[bestSim].Simulated {
+			bestSim = i
+		}
+		if p.Actual > points[worstAct].Actual {
+			worstAct = i
+		}
+		if p.Actual < points[bestAct].Actual {
+			bestAct = i
+		}
+	}
+	if worstSim != worstAct || bestSim != bestAct {
+		t.Errorf("simulator and actual disagree on extremes: sim (%d,%d) vs actual (%d,%d)",
+			bestSim, worstSim, bestAct, worstAct)
+	}
+}
+
+func TestTable3LowMemoryShapes(t *testing.T) {
+	e := DefaultEnv()
+	rows, _, err := e.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := indexRows(rows)
+	// 4 GPUs: Piper and AutoPipe similar (within 5%), DAPPLE much worse
+	// (paper: 11091 vs ~6500, a 1.7x gap; we accept >= 1.3x).
+	for i, gbs := range []int{128, 256, 512} {
+		d := byKey["GPT-2 345M/4/D"].Cells[i]
+		p := byKey["GPT-2 345M/4/P"].Cells[i]
+		a := byKey["GPT-2 345M/4/A"].Cells[i]
+		if d.Err != "" || p.Err != "" || a.Err != "" {
+			t.Fatalf("4 GPUs gbs=%d: unexpected errors %v %v %v", gbs, d.Err, p.Err, a.Err)
+		}
+		if ratio := d.IterTime / a.IterTime; ratio < 1.3 {
+			t.Errorf("4 GPUs gbs=%d: DAPPLE only %.2fx slower than AutoPipe, want >= 1.3x", gbs, ratio)
+		}
+		if rel := p.IterTime/a.IterTime - 1; rel < -0.02 || rel > 0.05 {
+			t.Errorf("4 GPUs gbs=%d: Piper vs AutoPipe off by %.1f%%, want similar", gbs, rel*100)
+		}
+	}
+	// 16 GPUs: DAPPLE hits a runtime error (replicas exceed the micro-batch
+	// size), the paper's '-' cells.
+	for i := range []int{128, 256, 512} {
+		if c := byKey["GPT-2 345M/16/D"].Cells[i]; !strings.Contains(c.Err, "runtime error") {
+			t.Errorf("16 GPUs: DAPPLE cell %d should be a runtime error, got %+v", i, c)
+		}
+	}
+}
+
+func TestTable4HighMemoryShapes(t *testing.T) {
+	e := DefaultEnv()
+	rows, _, err := e.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := indexRows(rows)
+	for _, g := range []int{4, 8} {
+		for i := range []int{512, 1024, 2048} {
+			// GPT-2 345M: AutoPipe beats both baselines (paper: up to 1.19x
+			// over DAPPLE and 1.18x over Piper).
+			d := byKey["GPT-2 345M/"+itoa(g)+"/D"].Cells[i]
+			p := byKey["GPT-2 345M/"+itoa(g)+"/P"].Cells[i]
+			a := byKey["GPT-2 345M/"+itoa(g)+"/A"].Cells[i]
+			if d.Err != "" || p.Err != "" || a.Err != "" {
+				t.Fatalf("345M %d GPUs: unexpected errors %q %q %q", g, d.Err, p.Err, a.Err)
+			}
+			if a.IterTime >= d.IterTime || a.IterTime >= p.IterTime {
+				t.Errorf("345M %d GPUs cell %d: AutoPipe (%.0f ms) not fastest (D %.0f, P %.0f)",
+					g, i, a.IterTime*1e3, d.IterTime*1e3, p.IterTime*1e3)
+			}
+			// GPT-2 1.3B: DAPPLE OOMs; AutoPipe beats Piper by 1.05-1.15x
+			// (paper: 1.07-1.14x).
+			d13 := byKey["GPT-2 1.3B/"+itoa(g)+"/D"].Cells[i]
+			p13 := byKey["GPT-2 1.3B/"+itoa(g)+"/P"].Cells[i]
+			a13 := byKey["GPT-2 1.3B/"+itoa(g)+"/A"].Cells[i]
+			if !strings.HasPrefix(d13.Err, "OOM") {
+				t.Errorf("1.3B %d GPUs: DAPPLE should OOM, got %+v", g, d13)
+			}
+			if p13.Err != "" || a13.Err != "" {
+				t.Fatalf("1.3B %d GPUs: unexpected errors %q %q", g, p13.Err, a13.Err)
+			}
+			if ratio := p13.IterTime / a13.IterTime; ratio < 1.04 || ratio > 1.25 {
+				t.Errorf("1.3B %d GPUs cell %d: Piper/AutoPipe ratio %.3fx outside [1.04,1.25]", g, i, ratio)
+			}
+		}
+	}
+}
+
+func TestFig12SearchTimeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DAPPLE's exhaustive sweep is slow; skipped with -short")
+	}
+	e := DefaultEnv()
+	points, _, err := e.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]map[string]float64{}
+	for _, p := range points {
+		if times[p.Model] == nil {
+			times[p.Model] = map[string]float64{}
+		}
+		times[p.Model][p.Planner] = p.Search.Seconds()
+	}
+	for model, m := range times {
+		if !(m["DAPPLE"] > m["Piper"] && m["Piper"] > m["AutoPipe"]) {
+			t.Errorf("%s: search times not ordered D > P > A: %v", model, m)
+		}
+		if m["DAPPLE"] < 10*m["AutoPipe"] {
+			t.Errorf("%s: DAPPLE only %.1fx slower than AutoPipe, want an order of magnitude",
+				model, m["DAPPLE"]/m["AutoPipe"])
+		}
+	}
+}
+
+func TestFig13BalanceImprovement(t *testing.T) {
+	e := DefaultEnv()
+	points, _, err := e.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := map[int]float64{}
+	for _, p := range points {
+		if p.Planner == "AutoPipe" {
+			auto[p.GPUs] = p.StdDev
+		}
+	}
+	for _, p := range points {
+		if p.Planner == "AutoPipe" {
+			continue
+		}
+		ratio := p.StdDev / auto[p.GPUs]
+		// Paper: 2.73x-12.7x improvement. Accept anything >= 2x.
+		if ratio < 2 {
+			t.Errorf("%s on %d GPUs: balance only %.2fx worse than AutoPipe, want >= 2x", p.Planner, p.GPUs, ratio)
+		}
+	}
+}
+
+func TestFig14StartupShapes(t *testing.T) {
+	e := DefaultEnv()
+	a, _, err := e.Fig14a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a {
+		mega := p.Results[SeriesMegatron]
+		inter := p.Results[SeriesInterleaved]
+		slc := p.Results[SeriesSlicer]
+		auto := p.Results[SeriesAutoPipe]
+		// The interleaved schedule OOMs at micro-batch 32 and only there.
+		if (p.Mbs == 32) != inter.OOM {
+			t.Errorf("mbs=%d: interleaved OOM=%v, want OOM only at 32", p.Mbs, inter.OOM)
+		}
+		// Slicer halves the startup (within 10%).
+		if r := mega.Startup / slc.Startup; r < 1.8 || r > 2.2 {
+			t.Errorf("mbs=%d: Slicer startup reduction %.2fx, want ~2x", p.Mbs, r)
+		}
+		if !inter.OOM {
+			if r := mega.Startup / inter.Startup; r < 1.7 || r > 2.3 {
+				t.Errorf("mbs=%d: interleaved startup reduction %.2fx, want ~2x", p.Mbs, r)
+			}
+		}
+		// AutoPipe's startup is slightly above the Slicer's (balancing moves
+		// load forward) but still roughly half of Megatron's.
+		if auto.Startup < slc.Startup {
+			t.Errorf("mbs=%d: AutoPipe startup %.1f ms below Slicer %.1f ms", p.Mbs, auto.Startup*1e3, slc.Startup*1e3)
+		}
+		if auto.Startup > 0.65*mega.Startup {
+			t.Errorf("mbs=%d: AutoPipe startup %.1f ms not close to half of Megatron %.1f ms", p.Mbs, auto.Startup*1e3, mega.Startup*1e3)
+		}
+	}
+
+	b, _, err := e.Fig14b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range b {
+		inter := p.Results[SeriesInterleaved]
+		// 24 layers over 8 stages = 3 layers per stage: not splittable into
+		// two chunks, the paper's 'X'.
+		if (p.Depth == 8) != inter.Infeasible {
+			t.Errorf("depth=%d: interleaved infeasible=%v, want only at 8", p.Depth, inter.Infeasible)
+		}
+	}
+}
+
+func TestComparePointRejectsBadDepth(t *testing.T) {
+	e := DefaultEnv()
+	if _, err := e.ComparePoint(config.GPT2_345M(), 5, 4, 8); err == nil {
+		t.Error("want error: 5 stages do not divide 24 layers for Megatron's even partition")
+	}
+}
+
+// indexRows keys planner rows by model/gpus/alg.
+func indexRows(rows []PlannerRow) map[string]PlannerRow {
+	out := make(map[string]PlannerRow, len(rows))
+	for _, r := range rows {
+		out[r.Model+"/"+itoa(r.GPUs)+"/"+r.Planner] = r
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

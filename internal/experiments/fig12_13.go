@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"autopipe/internal/baselines/dapple"
+	"autopipe/internal/baselines/piper"
+	"autopipe/internal/config"
+	"autopipe/internal/core"
+	"autopipe/internal/partition"
+	"autopipe/internal/plan"
+	"autopipe/internal/tableio"
+)
+
+// Fig12Point records one planner's measured search time on one model.
+type Fig12Point struct {
+	Model   string
+	Planner string
+	Search  time.Duration
+	// Evaluated counts the candidate configurations the planner scored.
+	Evaluated int
+}
+
+// Fig12 reproduces paper Fig. 12: wall-clock planning time of the three
+// planners across the four benchmark models on the full 16-GPU cluster.
+// DAPPLE runs its exhaustive device-composition sweep and Piper its full
+// configuration space (tensor parallelism and per-stage recomputation
+// included), matching how the released planners spend their time; AutoPipe
+// prunes with the master-stage heuristic and a uniform data-parallel size.
+// Note the paper's absolute gap also includes DAPPLE being implemented in
+// Python; this reproduction compares equal Go implementations, so the
+// search-space ratio is what remains.
+func (e Env) Fig12() ([]Fig12Point, *tableio.Table, error) {
+	run := config.Run{MicroBatch: 4, GlobalBatch: 512, Checkpoint: true}
+	var points []Fig12Point
+	t := &tableio.Table{
+		ID:      "fig12",
+		Title:   "Planner search time on the 16-GPU cluster",
+		Columns: []string{"Model", "Planner", "Search time", "Candidates"},
+	}
+	for _, mc := range config.Zoo() {
+		ds, _, err := dapple.Plan(mc, run, e.Cluster, dapple.Options{Exhaustive: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		ps, _, err := piper.Plan(mc, run, e.Cluster, piper.FullSpace())
+		if err != nil {
+			return nil, nil, err
+		}
+		as, _, err := core.PlanCluster(mc, run, e.Cluster)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range []struct {
+			name string
+			spec *plan.Spec
+		}{{"DAPPLE", ds}, {"Piper", ps}, {"AutoPipe", as}} {
+			pt := Fig12Point{Model: mc.Name, Planner: p.name, Search: p.spec.SearchTime, Evaluated: p.spec.Evaluated}
+			points = append(points, pt)
+			t.AddRow(mc.Name, p.name, pt.Search.String(), fmt.Sprint(pt.Evaluated))
+		}
+	}
+	t.Note("the paper's DAPPLE is Python; equal-language implementations leave the search-space gap, which keeps the D >> P > A ordering")
+	return points, t, nil
+}
+
+// Fig13Point is one balance measurement: the standard deviation of per-stage
+// run times of a planner's partition.
+type Fig13Point struct {
+	GPUs    int
+	Planner string
+	// StdDev is over per-stage wall times (f+b, replication applied), in
+	// seconds.
+	StdDev float64
+	Stages int
+}
+
+// Fig13 reproduces paper Fig. 13: pipeline balance of the three planners on
+// GPT-2 345M with micro-batch size 32 (the Table IV cases), measured as the
+// standard deviation among per-stage running times — lower is better.
+func (e Env) Fig13() ([]Fig13Point, *tableio.Table, error) {
+	mc := config.GPT2_345M()
+	var points []Fig13Point
+	t := &tableio.Table{
+		ID:      "fig13",
+		Title:   "Balance (stddev of stage run time, ms) on GPT-2 345M, micro-batch 32",
+		Columns: []string{"# of GPUs", "Planner", "Stages", "StdDev (ms)", "vs AutoPipe"},
+	}
+	for _, g := range []int{4, 8} {
+		cl := e.Cluster
+		cl.NumGPUs = g
+		run := config.Run{MicroBatch: 32, GlobalBatch: 512, Checkpoint: true}
+
+		type entry struct {
+			name string
+			spec *plan.Spec
+			bl   interface {
+				Weights() []float64
+			}
+			std    float64
+			stages int
+		}
+		var entries []entry
+
+		ds, dbl, err := dapple.Plan(mc, run, cl, dapple.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		df, db := plan.StageWallTimes(ds, dbl)
+		entries = append(entries, entry{"DAPPLE", ds, dbl, stageStd(df, db), ds.Depth()})
+
+		psp, pbl, err := piper.Plan(mc, run, cl, piper.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		pf, pb := plan.StageWallTimes(psp, pbl)
+		entries = append(entries, entry{"Piper", psp, pbl, stageStd(pf, pb), psp.Depth()})
+
+		asp, abl, err := core.PlanCluster(mc, run, cl)
+		if err != nil {
+			return nil, nil, err
+		}
+		af, ab := plan.StageWallTimes(asp, abl)
+		entries = append(entries, entry{"AutoPipe", asp, abl, stageStd(af, ab), asp.Depth()})
+
+		auto := entries[2].std
+		for _, en := range entries {
+			ratio := "-"
+			if en.name != "AutoPipe" && auto > 0 {
+				ratio = tableio.Speedup(en.std / auto)
+			}
+			points = append(points, Fig13Point{GPUs: g, Planner: en.name, StdDev: en.std, Stages: en.stages})
+			t.AddRow(fmt.Sprint(g), en.name, fmt.Sprint(en.stages), tableio.Ms(en.std), ratio)
+		}
+	}
+	return points, t, nil
+}
+
+func stageStd(f, b []float64) float64 {
+	w := make([]float64, len(f))
+	for i := range f {
+		w[i] = f[i] + b[i]
+	}
+	return partition.StdDev(w)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/config"
+	"autopipe/internal/tableio"
+)
+
+// Fig9Point is one measured configuration of Fig. 9.
+type Fig9Point struct {
+	Model   string
+	Mbs     int
+	Results map[string]MethodResult
+}
+
+// Fig9 reproduces paper Fig. 9: iteration time under different micro-batch
+// sizes with a fixed 4-stage pipeline and 8 micro-batches per iteration, for
+// Megatron-LM, the Slicer alone, the Planner alone, and full AutoPipe.
+// GPT-2 762M runs out of memory at micro-batch 32, so — like the paper — its
+// sweep tops out at 24.
+func (e Env) Fig9() ([]Fig9Point, *tableio.Table, error) {
+	const depth, m = 4, 8
+	models := []config.Model{config.GPT2_345M(), config.GPT2_762M(), config.BERTLarge()}
+	sizes := []int{4, 8, 16, 24, 32}
+
+	var points []Fig9Point
+	t := &tableio.Table{
+		ID:      "fig9",
+		Title:   "Iteration time (ms) vs micro-batch size; 4 stages, 8 micro-batches",
+		Columns: []string{"Model", "Mbs", SeriesMegatron, SeriesSlicer, SeriesPlanner, SeriesAutoPipe, "AutoPipe speedup"},
+	}
+	for _, mc := range models {
+		for _, mbs := range sizes {
+			res, err := e.ComparePoint(mc, depth, mbs, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, Fig9Point{Model: mc.Name, Mbs: mbs, Results: res})
+			t.AddRow(mc.Name, fmt.Sprint(mbs),
+				cell(res[SeriesMegatron]), cell(res[SeriesSlicer]),
+				cell(res[SeriesPlanner]), cell(res[SeriesAutoPipe]),
+				speedupCell(res[SeriesMegatron], res[SeriesAutoPipe]))
+		}
+	}
+	t.Note("OOM marks configurations exceeding 24 GB device memory (GPT-2 762M at micro-batch 32, as in the paper)")
+	return points, t, nil
+}
+
+// Fig10Point is one measured configuration of Fig. 10.
+type Fig10Point struct {
+	Model   string
+	Depth   int
+	Results map[string]MethodResult
+}
+
+// Fig10 reproduces paper Fig. 10: iteration time at different pipeline
+// depths with the micro-batch count fixed to twice the depth. Micro-batch
+// size is 4 for the GPT-2 models and 16 for BERT-large; GPT-2 762M uses a
+// 9-stage pipeline instead of 8 because Megatron-LM needs the depth to
+// divide the layer count.
+func (e Env) Fig10() ([]Fig10Point, *tableio.Table, error) {
+	type modelCase struct {
+		mc     config.Model
+		mbs    int
+		depths []int
+	}
+	cases := []modelCase{
+		{config.GPT2_345M(), 4, []int{2, 4, 8, 12}},
+		{config.GPT2_762M(), 4, []int{2, 4, 9, 12}},
+		{config.BERTLarge(), 16, []int{2, 4, 8, 12}},
+	}
+	var points []Fig10Point
+	t := &tableio.Table{
+		ID:      "fig10",
+		Title:   "Iteration time (ms) vs pipeline depth; micro-batches = 2 x depth",
+		Columns: []string{"Model", "Stages", SeriesMegatron, SeriesSlicer, SeriesPlanner, SeriesAutoPipe, "AutoPipe speedup"},
+	}
+	for _, c := range cases {
+		for _, depth := range c.depths {
+			res, err := e.ComparePoint(c.mc, depth, c.mbs, 2*depth)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, Fig10Point{Model: c.mc.Name, Depth: depth, Results: res})
+			t.AddRow(c.mc.Name, fmt.Sprint(depth),
+				cell(res[SeriesMegatron]), cell(res[SeriesSlicer]),
+				cell(res[SeriesPlanner]), cell(res[SeriesAutoPipe]),
+				speedupCell(res[SeriesMegatron], res[SeriesAutoPipe]))
+		}
+	}
+	return points, t, nil
+}
+
+func cell(r MethodResult) string {
+	switch {
+	case r.Infeasible:
+		return "X"
+	case r.OOM:
+		return "OOM"
+	default:
+		return tableio.Ms(r.IterTime)
+	}
+}
+
+func speedupCell(base, autopipe MethodResult) string {
+	if base.OOM || autopipe.OOM || base.Infeasible || autopipe.Infeasible || autopipe.IterTime == 0 {
+		return "-"
+	}
+	return tableio.Speedup(base.IterTime / autopipe.IterTime)
+}

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"autopipe/internal/tensor"
+)
+
+// ResidualAttentionBlock is the first half of a transformer layer at
+// AutoPipe's sub-layer granularity (paper Fig. 3): pre-LayerNorm self-
+// attention with a residual connection, y = x + Attn(LN(x)).
+type ResidualAttentionBlock struct {
+	LN   *LayerNorm
+	Attn *CausalSelfAttention
+}
+
+// NewResidualAttentionBlock builds the sub-block.
+func NewResidualAttentionBlock(name string, hidden, heads int, rng *tensor.RNG) *ResidualAttentionBlock {
+	return &ResidualAttentionBlock{
+		LN:   NewLayerNorm(name+".ln", hidden),
+		Attn: NewCausalSelfAttention(name+".attn", hidden, heads, rng),
+	}
+}
+
+type resCtx struct{ inner, outer Ctx }
+
+// Forward implements Module.
+func (r *ResidualAttentionBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	h, lnc := r.LN.Forward(x)
+	y, ac := r.Attn.Forward(h)
+	return x.Add(y), resCtx{inner: lnc, outer: ac}
+}
+
+// Backward implements Module.
+func (r *ResidualAttentionBlock) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(resCtx)
+	dh := r.Attn.Backward(c.outer, dy)
+	dx := r.LN.Backward(c.inner, dh)
+	dx.AddInPlace(dy) // residual path
+	return dx
+}
+
+// Params implements Module.
+func (r *ResidualAttentionBlock) Params() []*Param {
+	return append(r.LN.Params(), r.Attn.Params()...)
+}
+
+// ResidualFFNBlock is the second half of a transformer layer:
+// y = x + W2(GELU(W1(LN(x)))).
+type ResidualFFNBlock struct {
+	LN     *LayerNorm
+	W1, W2 *Linear
+	Act    GELU
+}
+
+// NewResidualFFNBlock builds the sub-block with expansion factor mult.
+func NewResidualFFNBlock(name string, hidden, mult int, rng *tensor.RNG) *ResidualFFNBlock {
+	return &ResidualFFNBlock{
+		LN: NewLayerNorm(name+".ln", hidden),
+		W1: NewLinear(name+".fc1", hidden, hidden*mult, 0.02, rng),
+		W2: NewLinear(name+".fc2", hidden*mult, hidden, 0.02, rng),
+	}
+}
+
+type ffnCtx struct{ ln, fc1, act, fc2 Ctx }
+
+// Forward implements Module.
+func (r *ResidualFFNBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	h, lnc := r.LN.Forward(x)
+	u, c1 := r.W1.Forward(h)
+	g, ca := r.Act.Forward(u)
+	y, c2 := r.W2.Forward(g)
+	return x.Add(y), ffnCtx{ln: lnc, fc1: c1, act: ca, fc2: c2}
+}
+
+// Backward implements Module.
+func (r *ResidualFFNBlock) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(ffnCtx)
+	dg := r.W2.Backward(c.fc2, dy)
+	du := r.Act.Backward(c.act, dg)
+	dh := r.W1.Backward(c.fc1, du)
+	dx := r.LN.Backward(c.ln, dh)
+	dx.AddInPlace(dy)
+	return dx
+}
+
+// Params implements Module.
+func (r *ResidualFFNBlock) Params() []*Param {
+	ps := r.LN.Params()
+	ps = append(ps, r.W1.Params()...)
+	ps = append(ps, r.W2.Params()...)
+	return ps
+}
+
+// Embedding maps token ids [B,S] to hidden states [B,S,H], adding learned
+// positional embeddings.
+type Embedding struct {
+	Vocab, MaxSeq, Hidden int
+	Tok, Pos              *Param
+}
+
+// NewEmbedding builds the tables.
+func NewEmbedding(name string, vocab, maxSeq, hidden int, rng *tensor.RNG) *Embedding {
+	return &Embedding{
+		Vocab: vocab, MaxSeq: maxSeq, Hidden: hidden,
+		Tok: newParam(name+".tok", tensor.Randn(rng, 0.02, vocab, hidden)),
+		Pos: newParam(name+".pos", tensor.Randn(rng, 0.01, maxSeq, hidden)),
+	}
+}
+
+type embCtx struct{ ids *tensor.Tensor }
+
+// Forward implements Module. x holds token ids as float64s in [B,S].
+func (e *Embedding) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	if len(x.Shape) != 2 {
+		panic(fmt.Sprintf("nn: embedding: input shape %v, want [B,S]", x.Shape))
+	}
+	B, S := x.Shape[0], x.Shape[1]
+	if S > e.MaxSeq {
+		panic(fmt.Sprintf("nn: embedding: sequence %d exceeds max %d", S, e.MaxSeq))
+	}
+	y := tensor.New(B, S, e.Hidden)
+	for b := 0; b < B; b++ {
+		for s := 0; s < S; s++ {
+			id := int(x.Data[b*S+s])
+			if id < 0 || id >= e.Vocab {
+				panic(fmt.Sprintf("nn: embedding: token id %d out of vocab %d", id, e.Vocab))
+			}
+			dst := y.Data[(b*S+s)*e.Hidden : (b*S+s+1)*e.Hidden]
+			tok := e.Tok.W.Data[id*e.Hidden : (id+1)*e.Hidden]
+			pos := e.Pos.W.Data[s*e.Hidden : (s+1)*e.Hidden]
+			for d := 0; d < e.Hidden; d++ {
+				dst[d] = tok[d] + pos[d]
+			}
+		}
+	}
+	return y, embCtx{ids: x}
+}
+
+// Backward implements Module. The returned gradient is nil: token ids are
+// not differentiable.
+func (e *Embedding) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(embCtx)
+	B, S := c.ids.Shape[0], c.ids.Shape[1]
+	for b := 0; b < B; b++ {
+		for s := 0; s < S; s++ {
+			id := int(c.ids.Data[b*S+s])
+			src := dy.Data[(b*S+s)*e.Hidden : (b*S+s+1)*e.Hidden]
+			tok := e.Tok.Grad.Data[id*e.Hidden : (id+1)*e.Hidden]
+			pos := e.Pos.Grad.Data[s*e.Hidden : (s+1)*e.Hidden]
+			for d := 0; d < e.Hidden; d++ {
+				tok[d] += src[d]
+				pos[d] += src[d]
+			}
+		}
+	}
+	return nil
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Param { return []*Param{e.Tok, e.Pos} }
+
+// LMHead is the final LayerNorm plus the vocabulary projection. It owns its
+// weights (untied) so a pipeline can place it on a different stage than the
+// embedding without cross-stage weight synchronization.
+type LMHead struct {
+	LN   *LayerNorm
+	Proj *Linear
+}
+
+// NewLMHead builds the head.
+func NewLMHead(name string, hidden, vocab int, rng *tensor.RNG) *LMHead {
+	p := NewLinear(name+".proj", hidden, vocab, 0.02, rng)
+	p.NoBias = true
+	return &LMHead{LN: NewLayerNorm(name+".ln", hidden), Proj: p}
+}
+
+type headCtx struct{ ln, proj Ctx }
+
+// Forward implements Module: [B,S,H] -> logits [B,S,V].
+func (h *LMHead) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	u, lc := h.LN.Forward(x)
+	y, pc := h.Proj.Forward(u)
+	return y, headCtx{ln: lc, proj: pc}
+}
+
+// Backward implements Module.
+func (h *LMHead) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(headCtx)
+	du := h.Proj.Backward(c.proj, dy)
+	return h.LN.Backward(c.ln, du)
+}
+
+// Params implements Module.
+func (h *LMHead) Params() []*Param { return append(h.LN.Params(), h.Proj.Params()...) }
+
+// CrossEntropy computes the summed next-token cross-entropy loss of logits
+// [B,S,V] against integer targets [B,S] and the logits gradient. Scaling
+// (e.g. 1/tokens for a mean) is the caller's business so that micro-batch
+// accumulation stays exact.
+func CrossEntropy(logits, targets *tensor.Tensor) (loss float64, dLogits *tensor.Tensor) {
+	rows, v := logits.Rows()
+	if targets.Size() != rows {
+		panic(fmt.Sprintf("nn: cross-entropy: %d targets for %d rows", targets.Size(), rows))
+	}
+	dLogits = tensor.New(logits.Shape...)
+	for r := 0; r < rows; r++ {
+		row := logits.Data[r*v : (r+1)*v]
+		grad := dLogits.Data[r*v : (r+1)*v]
+		mx := math.Inf(-1)
+		for _, x := range row {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			grad[j] = e
+			sum += e
+		}
+		target := int(targets.Data[r])
+		if target < 0 || target >= v {
+			panic(fmt.Sprintf("nn: cross-entropy: target %d out of vocab %d", target, v))
+		}
+		loss += math.Log(sum) - (row[target] - mx)
+		for j := range grad {
+			grad[j] /= sum
+		}
+		grad[target] -= 1
+	}
+	return loss, dLogits
+}
+
+// CollectParams flattens the parameters of a module list.
+func CollectParams(mods []Module) []*Param {
+	var ps []*Param
+	for _, m := range mods {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears accumulated gradients.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"fmt"
+
+	"autopipe/internal/tensor"
+)
+
+// GPTConfig sizes a miniature GPT for the real-training substrate.
+type GPTConfig struct {
+	Vocab   int
+	MaxSeq  int
+	Hidden  int
+	Heads   int
+	Layers  int
+	FFNMult int
+	Seed    uint64
+}
+
+// TinyGPT returns a config small enough for exhaustive tests.
+func TinyGPT() GPTConfig {
+	return GPTConfig{Vocab: 17, MaxSeq: 8, Hidden: 16, Heads: 2, Layers: 2, FFNMult: 4, Seed: 7}
+}
+
+// BuildGPT constructs the model as a flat module array in AutoPipe's
+// planning order — [Embedding, (Attn, FFN) × Layers, LMHead] — so a pipeline
+// stage is simply a contiguous slice of the returned list, cut at sub-layer
+// granularity exactly like the planner's block array.
+func BuildGPT(cfg GPTConfig) []Module {
+	if cfg.FFNMult == 0 {
+		cfg.FFNMult = 4
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	mods := []Module{NewEmbedding("emb", cfg.Vocab, cfg.MaxSeq, cfg.Hidden, rng)}
+	for l := 0; l < cfg.Layers; l++ {
+		mods = append(mods,
+			NewResidualAttentionBlock(fmt.Sprintf("l%d.attn", l), cfg.Hidden, cfg.Heads, rng),
+			NewResidualFFNBlock(fmt.Sprintf("l%d.ffn", l), cfg.Hidden, cfg.FFNMult, rng),
+		)
+	}
+	mods = append(mods, NewLMHead("head", cfg.Hidden, cfg.Vocab, rng))
+	return mods
+}
+
+// ForwardAll runs x through a module slice, returning the output and the
+// per-module contexts (for BackwardAll).
+func ForwardAll(mods []Module, x *tensor.Tensor) (*tensor.Tensor, []Ctx) {
+	ctxs := make([]Ctx, len(mods))
+	for i, m := range mods {
+		x, ctxs[i] = m.Forward(x)
+	}
+	return x, ctxs
+}
+
+// BackwardAll back-propagates dy through a module slice using the contexts
+// from ForwardAll, returning the input gradient (nil if the first module is
+// an Embedding).
+func BackwardAll(mods []Module, ctxs []Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(mods) - 1; i >= 0; i-- {
+		dy = mods[i].Backward(ctxs[i], dy)
+	}
+	return dy
+}

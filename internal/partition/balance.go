@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// Balance implements Algorithm 1 of the paper: given per-block weights
+// (f_i + b_i) and a pipeline depth p, it returns the contiguous partition
+// that minimizes the maximum per-stage weight, via the classic min-max
+// linear-partition dynamic program.
+//
+//	time[i][j] = min over k<i of max(time[k][j-1], prefix[i]-prefix[k])
+//
+// The paper seeds its heuristic search with this "relatively balanced"
+// scheme; it is only relatively balanced because block weights are lumpy
+// (embedding and head blocks differ from transformer sub-blocks).
+func Balance(weights []float64, p int) (Partition, error) {
+	n := len(weights)
+	if p <= 0 {
+		return Partition{}, fmt.Errorf("partition: pipeline depth must be positive, got %d", p)
+	}
+	if n < p {
+		return Partition{}, fmt.Errorf("partition: cannot split %d blocks into %d stages", n, p)
+	}
+	prefix := make([]float64, n+1)
+	for i, w := range weights {
+		if w < 0 {
+			return Partition{}, fmt.Errorf("partition: negative block weight %g at index %d", w, i)
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+
+	const inf = math.MaxFloat64
+	// time[i][j]: best max-stage weight for the first i blocks in j stages.
+	time := make([][]float64, n+1)
+	from := make([][]int, n+1)
+	for i := 0; i <= n; i++ {
+		time[i] = make([]float64, p+1)
+		from[i] = make([]int, p+1)
+		for j := range time[i] {
+			time[i][j] = inf
+			from[i][j] = -1
+		}
+	}
+	time[0][0] = 0
+	for i := 1; i <= n; i++ {
+		maxJ := p
+		if i < maxJ {
+			maxJ = i
+		}
+		for j := 1; j <= maxJ; j++ {
+			// k is the end of the previous stage; stage j holds (k, i].
+			for k := j - 1; k < i; k++ {
+				if time[k][j-1] == inf {
+					continue
+				}
+				cand := prefix[i] - prefix[k]
+				if time[k][j-1] > cand {
+					cand = time[k][j-1]
+				}
+				if cand < time[i][j] {
+					time[i][j] = cand
+					from[i][j] = k
+				}
+			}
+		}
+	}
+	if time[n][p] == inf {
+		return Partition{}, fmt.Errorf("partition: no feasible %d-stage partition of %d blocks", p, n)
+	}
+
+	bounds := make([]int, p+1)
+	bounds[p] = n
+	for j, i := p, n; j > 0; j-- {
+		i = from[i][j]
+		bounds[j-1] = i
+	}
+	return New(bounds, n)
+}
+
+// BalancePrefix re-balances only the first `stages` stages of part over the
+// block prefix ending at part.Bounds[stages], leaving later bounds intact.
+// The heuristic planner uses this when it shifts the master stage (paper
+// §III-B step 3: "applies Algorithm 1 to the first i−1 stages").
+func BalancePrefix(part Partition, weights []float64, stages int) (Partition, error) {
+	if stages <= 0 || stages > part.Stages() {
+		return Partition{}, fmt.Errorf("partition: prefix stages %d out of range [1,%d]", stages, part.Stages())
+	}
+	end := part.Bounds[stages]
+	sub, err := Balance(weights[:end], stages)
+	if err != nil {
+		return Partition{}, err
+	}
+	out := part.Clone()
+	copy(out.Bounds[:stages+1], sub.Bounds)
+	return out, nil
+}
+
+// Even returns the Megatron-LM style partition: blocks split into p runs of
+// equal block count (callers arrange the block array so this equals "divide
+// transformer layers evenly"). It returns an error when p does not divide
+// the divisible region evenly, mirroring Megatron's constraint that pipeline
+// depth must be a factor of the layer count.
+func Even(n, p int) (Partition, error) {
+	if p <= 0 || n < p {
+		return Partition{}, fmt.Errorf("partition: cannot evenly split %d blocks into %d stages", n, p)
+	}
+	if n%p != 0 {
+		return Partition{}, fmt.Errorf("partition: %d blocks not divisible by %d stages", n, p)
+	}
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	return New(bounds, n)
+}

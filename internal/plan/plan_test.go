@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"autopipe/internal/config"
+	"autopipe/internal/cost"
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+)
+
+func buildSub(t *testing.T, mc config.Model, mbs int) *model.Blocks {
+	t.Helper()
+	cl := config.DefaultCluster()
+	bl, err := model.Build(mc, cost.Geometry{MicroBatch: mbs, Checkpoint: true},
+		cl.Device, cl.Network, model.SubLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bl
+}
+
+func uniformSpec(t *testing.T, bl *model.Blocks, depth, dp int) *Spec {
+	t.Helper()
+	part, err := partition.Balance(bl.Weights(), depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]int, depth)
+	for i := range devs {
+		devs[i] = dp
+	}
+	return &Spec{Planner: "test", Partition: part, StageDevices: devs}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	bl := buildSub(t, config.GPT2_345M(), 4)
+	s := uniformSpec(t, bl, 4, 2)
+	if s.Depth() != 4 {
+		t.Errorf("Depth = %d", s.Depth())
+	}
+	if s.DataParallel() != 2 {
+		t.Errorf("DataParallel = %d", s.DataParallel())
+	}
+	if s.Devices() != 8 {
+		t.Errorf("Devices = %d", s.Devices())
+	}
+	s.StageDevices = []int{1, 3, 2, 2}
+	if s.DataParallel() != 1 {
+		t.Errorf("non-uniform DataParallel = %d, want 1", s.DataParallel())
+	}
+}
+
+func TestEvaluateUniformPlan(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl := buildSub(t, config.GPT2_345M(), 4)
+	run := config.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
+	s := uniformSpec(t, bl, 4, 1)
+	r, err := Evaluate(s, bl, run, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err != "" {
+		t.Fatalf("unexpected failure: %s", r.Err)
+	}
+	if r.Micro != 32 {
+		t.Errorf("dp=1: %d micro-batches, want 32", r.Micro)
+	}
+	if r.IterTime <= 0 || r.Startup <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	if r.AllReduce != 0 {
+		t.Errorf("dp=1 should have no all-reduce, got %v", r.AllReduce)
+	}
+
+	s2 := uniformSpec(t, bl, 4, 2)
+	r2, err := Evaluate(s2, bl, run, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Micro != 16 {
+		t.Errorf("dp=2: %d micro-batches, want 16", r2.Micro)
+	}
+	if r2.AllReduce <= 0 {
+		t.Error("dp=2 must pay a gradient all-reduce")
+	}
+	if r2.IterTime >= r.IterTime {
+		t.Errorf("doubling devices did not speed up the iteration: %v vs %v", r2.IterTime, r.IterTime)
+	}
+}
+
+func TestEvaluateSlicedPlanReducesStartup(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl := buildSub(t, config.GPT2_345M(), 4)
+	run := config.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
+	plain := uniformSpec(t, bl, 4, 1)
+	sliced := uniformSpec(t, bl, 4, 1)
+	sliced.NumSliced = 1
+	rp, err := Evaluate(plain, bl, run, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Evaluate(sliced, bl, run, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Startup >= rp.Startup*0.7 {
+		t.Errorf("sliced startup %v not well below plain %v", rs.Startup, rp.Startup)
+	}
+}
+
+func TestEvaluateMicroShardRuntimeError(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl, err := model.Build(config.GPT2_345M(), cost.Geometry{MicroBatch: 4, Checkpoint: true},
+		cl.Device, cl.Network, model.Layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Balance(bl.Weights(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Spec{Planner: "DAPPLE", Partition: part, StageDevices: []int{1, 15}, MicroShard: true}
+	r, err := Evaluate(s, bl, config.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Err, "runtime error") {
+		t.Errorf("15 replicas for micro-batch 4 should be a runtime error, got %+v", r)
+	}
+}
+
+func TestEvaluateDetectsOOM(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl := buildSub(t, config.GPT2_1_3B(), 16)
+	run := config.Run{MicroBatch: 16, GlobalBatch: 512, Checkpoint: true}
+	s := uniformSpec(t, bl, 2, 2) // 2-stage GPT-2 1.3B: the paper's OOM case
+	r, err := Evaluate(s, bl, run, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r.Err, "OOM") {
+		t.Errorf("2-stage GPT-2 1.3B should OOM, got %+v", r)
+	}
+}
+
+func TestStageWallTimesMicroShard(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl, err := model.Build(config.GPT2_345M(), cost.Geometry{MicroBatch: 4, Checkpoint: true},
+		cl.Device, cl.Network, model.Layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Balance(bl.Weights(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := part.StageTimes(bl)
+	s := &Spec{Partition: part, StageDevices: []int{1, 3}, MicroShard: true}
+	f, _ := StageWallTimes(s, bl)
+	if f[0] != full[0] {
+		t.Errorf("unreplicated stage changed: %v vs %v", f[0], full[0])
+	}
+	// ceil(4/3)=2 of 4 samples plus the small-batch penalty: the sharded
+	// stage takes more than half but less than all of its full time.
+	if f[1] <= full[1]/2 || f[1] >= full[1] {
+		t.Errorf("3-way sharded stage wall time %v outside (%v, %v)", f[1], full[1]/2, full[1])
+	}
+}
+
+func TestStageWallTimesRoundRobinPenalty(t *testing.T) {
+	bl := buildSub(t, config.GPT2_345M(), 4)
+	part, err := partition.Balance(bl.Weights(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := part.StageTimes(bl)
+	s := &Spec{Partition: part, StageDevices: []int{1, 2, 1}, RoundRobin: true}
+	f, _ := StageWallTimes(s, bl)
+	// The replicated stage gets throughput/2 with the merge penalty.
+	if f[1] <= full[1]/2 || f[1] >= full[1]*0.7 {
+		t.Errorf("round-robin stage wall time %v, want ~%v*1.15/2", f[1], full[1])
+	}
+	if f[0] != full[0] || f[2] != full[2] {
+		t.Error("unreplicated stages changed")
+	}
+}
+
+func TestEvaluateRejectsMismatchedDevices(t *testing.T) {
+	cl := config.DefaultCluster()
+	bl := buildSub(t, config.GPT2_345M(), 4)
+	part, _ := partition.Balance(bl.Weights(), 4)
+	s := &Spec{Partition: part, StageDevices: []int{1, 1}}
+	if _, err := Evaluate(s, bl, config.Run{MicroBatch: 4, GlobalBatch: 128}, cl); err == nil {
+		t.Error("want error for mismatched stage device counts")
+	}
+}

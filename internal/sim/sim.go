@@ -1,0 +1,348 @@
+// Package sim implements the paper's pipeline simulator (§III-B-1): given
+// per-stage forward/backward times and a communication constant it computes
+// the start time of every operation of a synchronous 1F1B pipeline
+// iteration, the iteration time, the startup overhead, and reconstructs the
+// unique critical path and master stage.
+//
+// The recurrences follow the paper exactly. For a non-first stage a forward
+// start is max(upstream forward end, previous same-stage op end) + Comm; for
+// a non-last stage a backward start is max(downstream backward end, previous
+// same-stage op end) + Comm. The paper estimates the Warmup phase with the
+// total forward time of one micro-batch because a balanced partition keeps
+// the first micro-batch from choking; this implementation evaluates Warmup
+// with the same recurrences, which coincides with the estimate whenever that
+// assumption holds (a property the tests check).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Phase labels the pipeline phase an operation belongs to (paper Fig. 5).
+type Phase int
+
+const (
+	Warmup Phase = iota
+	OneFOneB
+	Cooldown
+)
+
+var phaseNames = [...]string{"Warmup", "1F1B", "Cooldown"}
+
+func (p Phase) String() string { return phaseNames[p] }
+
+// OpKind distinguishes forward from backward operations.
+type OpKind int
+
+const (
+	Fwd OpKind = iota
+	Bwd
+)
+
+func (k OpKind) String() string {
+	if k == Fwd {
+		return "F"
+	}
+	return "B"
+}
+
+// Op is one simulated compute operation.
+type Op struct {
+	Stage int
+	Micro int
+	Kind  OpKind
+	Phase Phase
+	// Block is the renumbered block index within the 1F1B phase (paper
+	// Fig. 6), or the reverse-renumbered index within Cooldown; -1 in Warmup.
+	Block      int
+	Start, End float64
+
+	// pos is the op's index within its stage's execution order.
+	pos int
+	// critPred encodes which dependency determined Start: -1 none,
+	// 0 same-stage predecessor, 1 cross-stage predecessor.
+	critPred int
+}
+
+// Result is the outcome of simulating one pipeline iteration.
+type Result struct {
+	// IterTime is the makespan of the iteration (Warmup + 1F1B + Cooldown),
+	// the quantity the partitioner minimizes.
+	IterTime float64
+	// Startup is the pipeline startup overhead: the moment the last stage
+	// has received the activations of the first micro-batch and can begin
+	// computing (paper §II-B).
+	Startup float64
+	// Master is the master stage: the stage the critical path passes
+	// through in the 1F1B phase (paper §III-B).
+	Master int
+	// Critical is the unique critical path from the first forward to the
+	// end of the last backward, tie-broken toward the last pipeline stage.
+	Critical []*Op
+	// Ops holds every simulated op, per stage, in execution order.
+	Ops [][]*Op
+
+	F, B  []float64
+	Comm  float64
+	Micro int
+}
+
+// Simulate runs one synchronous 1F1B iteration with per-stage forward times
+// f, backward times b, communication constant comm, and m micro-batches.
+func Simulate(f, b []float64, comm float64, m int) (*Result, error) {
+	n := len(f)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("sim: need matching non-empty stage times, got %d fwd / %d bwd", n, len(b))
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("sim: micro-batch count must be positive, got %d", m)
+	}
+	for i := 0; i < n; i++ {
+		if f[i] < 0 || b[i] < 0 {
+			return nil, fmt.Errorf("sim: negative stage time at stage %d", i)
+		}
+	}
+
+	r := &Result{F: append([]float64(nil), f...), B: append([]float64(nil), b...), Comm: comm, Micro: m}
+	r.Ops = buildSchedule(n, m)
+
+	// fwdAt[x][µ] / bwdAt[x][µ] index ops for cross-stage dependencies.
+	fwdAt := make([][]*Op, n)
+	bwdAt := make([][]*Op, n)
+	for x := 0; x < n; x++ {
+		fwdAt[x] = make([]*Op, m)
+		bwdAt[x] = make([]*Op, m)
+		for _, op := range r.Ops[x] {
+			if op.Kind == Fwd {
+				fwdAt[x][op.Micro] = op
+			} else {
+				bwdAt[x][op.Micro] = op
+			}
+		}
+	}
+
+	// The per-stage lists are already in execution order and every
+	// cross-stage dependency points to an op that appears earlier in a
+	// valid pipeline execution, so evaluating stages round-robin by op
+	// position converges in one pass per dependency chain. We use an
+	// explicit worklist sweep: iterate until fixed point (times only grow
+	// toward their unique longest-path values; each sweep finalizes at
+	// least one stage frontier, so at most n+2 sweeps run).
+	done := make([]int, n) // per-stage count of finalized ops
+	total := 0
+	for _, ops := range r.Ops {
+		total += len(ops)
+	}
+	finalized := 0
+	for finalized < total {
+		progressed := false
+		for x := 0; x < n; x++ {
+			for done[x] < len(r.Ops[x]) {
+				op := r.Ops[x][done[x]]
+				ready, start, critPred := opStart(op, r, fwdAt, bwdAt, done)
+				if !ready {
+					break
+				}
+				op.Start = start
+				op.critPred = critPred
+				if op.Kind == Fwd {
+					op.End = start + f[x]
+				} else {
+					op.End = start + b[x]
+				}
+				done[x]++
+				finalized++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("sim: dependency deadlock (internal error)")
+		}
+	}
+
+	last := r.Ops[0][len(r.Ops[0])-1]
+	r.IterTime = last.End
+	if first := firstOp(r.Ops[n-1]); first != nil {
+		r.Startup = first.Start
+	}
+	r.Critical = criticalPath(last, r, fwdAt, bwdAt)
+	r.Master = masterStage(r)
+	return r, nil
+}
+
+// buildSchedule lays out the 1F1B execution order (paper Fig. 5/6): stage x
+// warms up with min(n-1-x, m) forwards, alternates forward/backward blocks
+// in the 1F1B phase, and cools down with the remaining backwards.
+func buildSchedule(n, m int) [][]*Op {
+	ops := make([][]*Op, n)
+	for x := 0; x < n; x++ {
+		warm := n - 1 - x
+		if warm > m {
+			warm = m
+		}
+		var list []*Op
+		for µ := 0; µ < warm; µ++ {
+			list = append(list, &Op{Stage: x, Micro: µ, Kind: Fwd, Phase: Warmup, Block: -1})
+		}
+		// 1F1B blocks: block y pairs F(µ=warm+y) with B(µ=y).
+		blocks := m - warm
+		for y := 0; y < blocks; y++ {
+			list = append(list, &Op{Stage: x, Micro: warm + y, Kind: Fwd, Phase: OneFOneB, Block: y})
+			list = append(list, &Op{Stage: x, Micro: y, Kind: Bwd, Phase: OneFOneB, Block: y})
+		}
+		// Cooldown backwards, renumbered in reverse order (paper Fig. 6):
+		// the final backward gets index 0.
+		for µ := blocks; µ < m; µ++ {
+			list = append(list, &Op{Stage: x, Micro: µ, Kind: Bwd, Phase: Cooldown, Block: m - 1 - µ})
+		}
+		for i, op := range list {
+			op.pos = i
+		}
+		ops[x] = list
+	}
+	return ops
+}
+
+// opStart computes the start time of op if all its dependencies are
+// finalized. done[x] counts finalized ops on stage x.
+func opStart(op *Op, r *Result, fwdAt, bwdAt [][]*Op, done []int) (ready bool, start float64, critPred int) {
+	n := len(r.Ops)
+	var same, cross *Op
+	if op.pos > 0 {
+		same = r.Ops[op.Stage][op.pos-1]
+		if done[op.Stage] <= same.pos {
+			return false, 0, 0
+		}
+	}
+	hasComm := false
+	if op.Kind == Fwd && op.Stage > 0 {
+		cross = fwdAt[op.Stage-1][op.Micro]
+		hasComm = true
+	} else if op.Kind == Bwd && op.Stage < n-1 {
+		cross = bwdAt[op.Stage+1][op.Micro]
+		hasComm = true
+	}
+	if cross != nil && done[cross.Stage] <= cross.pos {
+		return false, 0, 0
+	}
+
+	start, critPred = 0, -1
+	if same != nil {
+		start, critPred = same.End, 0
+	}
+	if cross != nil {
+		// Tie-break toward the path "closest to the last pipeline stage"
+		// (paper Fig. 4): a backward's cross dependency comes from a higher
+		// stage, so it wins ties; a forward's comes from a lower stage, so
+		// the same-stage predecessor keeps ties.
+		if cross.End > start || (cross.End == start && op.Kind == Bwd) {
+			start, critPred = cross.End, 1
+		}
+	}
+	if hasComm {
+		// The paper charges Comm on every cross-stage op regardless of
+		// which dependency dominated (the receive occupies the stream).
+		start += r.Comm
+	}
+	return true, start, critPred
+}
+
+func firstOp(ops []*Op) *Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	return ops[0]
+}
+
+// criticalPath backtracks the recorded argmax decisions from the final op.
+func criticalPath(last *Op, r *Result, fwdAt, bwdAt [][]*Op) []*Op {
+	var rev []*Op
+	for op := last; op != nil; {
+		rev = append(rev, op)
+		switch op.critPred {
+		case 0:
+			op = r.Ops[op.Stage][op.pos-1]
+		case 1:
+			if op.Kind == Fwd {
+				op = fwdAt[op.Stage-1][op.Micro]
+			} else {
+				op = bwdAt[op.Stage+1][op.Micro]
+			}
+		default:
+			op = nil
+		}
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// masterStage returns the stage whose compute dominates the critical path in
+// the 1F1B phase: the stage with the heaviest load, which drives succeeding
+// stages through its forwards and preceding stages through its backwards.
+func masterStage(r *Result) int {
+	dwell := make([]float64, len(r.Ops))
+	any := false
+	for _, op := range r.Critical {
+		if op.Phase == OneFOneB {
+			dwell[op.Stage] += op.End - op.Start
+			any = true
+		}
+	}
+	if !any {
+		// Degenerate pipelines (m < n) may have an empty 1F1B phase; fall
+		// back to the heaviest critical-path stage overall.
+		for _, op := range r.Critical {
+			dwell[op.Stage] += op.End - op.Start
+		}
+	}
+	best, bestT := 0, math.Inf(-1)
+	for s, t := range dwell {
+		// Ties resolve toward the last stage, matching the critical-path
+		// uniqueness rule.
+		if t >= bestT {
+			best, bestT = s, t
+		}
+	}
+	return best
+}
+
+// WarmupEstimate returns the paper's closed-form Warmup overhead estimate:
+// the total forward time of one micro-batch plus the cross-stage hops.
+func WarmupEstimate(f []float64, comm float64) float64 {
+	var t float64
+	for _, fx := range f {
+		t += fx
+	}
+	return t + float64(len(f)-1)*comm
+}
+
+// Bubble returns the total idle time across stages within the iteration
+// (makespan*stages minus busy time), a convenience metric for tests and
+// ablations.
+func (r *Result) Bubble() float64 {
+	var busy float64
+	for _, ops := range r.Ops {
+		for _, op := range ops {
+			busy += op.End - op.Start
+		}
+	}
+	return r.IterTime*float64(len(r.Ops)) - busy
+}
+
+// Timeline renders a compact text view of the iteration for debugging.
+func (r *Result) Timeline() string {
+	var sb strings.Builder
+	for x, ops := range r.Ops {
+		fmt.Fprintf(&sb, "stage %d:", x)
+		for _, op := range ops {
+			fmt.Fprintf(&sb, " %s%d@%.2f", op.Kind, op.Micro, op.Start*1e3)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

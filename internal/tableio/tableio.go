@@ -1,0 +1,107 @@
+// Package tableio renders experiment results as aligned text tables and CSV,
+// the output format of the reproduction harness (cmd/experiments).
+package tableio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one rendered experiment result (a paper table or figure series).
+type Table struct {
+	// ID is the experiment identifier, e.g. "table3" or "fig9".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold pre-formatted cells; each row must match Columns in length.
+	Rows [][]string
+	// Notes are free-form caveats printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row, applying fmt.Sprint to each value.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprint(v)
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a caveat line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s\n\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV (header + rows; notes are omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Ms formats a duration in seconds as milliseconds with one decimal.
+func Ms(seconds float64) string { return fmt.Sprintf("%.1f", seconds*1e3) }
+
+// Speedup formats a ratio as "1.23x".
+func Speedup(r float64) string { return fmt.Sprintf("%.2fx", r) }

@@ -1,0 +1,70 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "t1",
+		Title:   "Sample",
+		Columns: []string{"A", "Long column", "C"},
+	}
+	t.AddRow("1", "x", "3.5")
+	t.AddRowf(2, "yyyyyyyyyyyy", 4.25)
+	t.Note("a caveat with %d parts", 2)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## t1 — Sample") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "note: a caveat with 2 parts") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator line up.
+	var header, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "A ") {
+			header, sep = l, lines[i+1]
+			break
+		}
+	}
+	if header == "" || len(sep) < len("A  Long column  C")-2 {
+		t.Errorf("header/separator misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "A,Long column,C" {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	if lines[2] != "2,yyyyyyyyyyyy,4.25" {
+		t.Errorf("CSV row %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Ms(1.2345); got != "1234.5" {
+		t.Errorf("Ms = %q", got)
+	}
+	if got := Speedup(1.2345); got != "1.23x" {
+		t.Errorf("Speedup = %q", got)
+	}
+}

@@ -51,7 +51,9 @@ func main() {
 	fmt.Printf("data parallelism:  %d\n", spec.DataParallel())
 	fmt.Printf("micro-batches:     %d per iteration\n", res.Micro)
 	fmt.Printf("sliced warmup:     %d micro-batch(es)\n", spec.NumSliced)
-	fmt.Printf("planning time:     %v (%d schemes assessed)\n\n", spec.SearchTime, spec.Evaluated)
+	fmt.Printf("planning time:     %v (%d schemes assessed, %d improved the incumbent)\n", spec.SearchTime, spec.Evaluated, spec.Accepted)
+	fmt.Printf("predicted iter:    %.1f ms (slicer: %d round(s), converged %v)\n\n",
+		spec.Predicted*1e3, spec.SliceRounds, spec.SliceConverged)
 	fmt.Print(spec.Partition.Describe(bl))
 	for s := 0; s < spec.Depth(); s++ {
 		e := memory.StageEstimate(bl, spec.Partition, s, res.Micro, memory.OneFOneB, 1)

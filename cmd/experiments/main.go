@@ -41,9 +41,11 @@ func main() {
 		"abl-slicing":     func() (*tableio.Table, error) { _, t, err := env.AblationSlicingCount(); return t, err },
 		"abl-schedule":    func() (*tableio.Table, error) { _, t, err := env.AblationSchedules(); return t, err },
 		"abl-interleaved": func() (*tableio.Table, error) { _, t, err := env.AblationInterleaved(); return t, err },
+		// Planner/Slicer search telemetry (beyond the paper; DESIGN.md §7).
+		"telemetry": func() (*tableio.Table, error) { _, t, err := env.PlannerTelemetry(); return t, err },
 	}
 	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "table3", "table4", "fig12", "fig13", "fig14a", "fig14b",
-		"abl-granularity", "abl-heuristic", "abl-slicing", "abl-schedule", "abl-interleaved"}
+		"abl-granularity", "abl-heuristic", "abl-slicing", "abl-schedule", "abl-interleaved", "telemetry"}
 
 	var ids []string
 	if *exp == "all" {

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 \
-//	        [-schedule 1f1b|gpipe|sliced|interleaved] [-sliced N] [-gantt]
+//	        [-schedule 1f1b|gpipe|sliced|interleaved] [-sliced N] [-gantt] \
+//	        [-metrics report.json] [-trace trace.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +20,29 @@ import (
 	"autopipe/internal/core"
 	"autopipe/internal/cost"
 	"autopipe/internal/exec"
+	"autopipe/internal/memory"
 	"autopipe/internal/model"
+	"autopipe/internal/obs"
 	"autopipe/internal/partition"
 	"autopipe/internal/schedule"
 	"autopipe/internal/sim"
 	"autopipe/internal/slicer"
 )
+
+// metricsReport is the JSON document -metrics writes: the executed bubble
+// decomposition and link statistics, per-device activation-memory peaks, and
+// the observability registry's snapshot.
+type metricsReport struct {
+	Model      string        `json:"model"`
+	Schedule   string        `json:"schedule"`
+	Stages     int           `json:"stages"`
+	Micro      int           `json:"micro"`
+	MicroBatch int           `json:"microBatch"`
+	Metrics    *exec.Metrics `json:"metrics"`
+	BubbleFrac float64       `json:"bubbleFraction"`
+	MemPeaks   []int64       `json:"memoryPeakBytes,omitempty"`
+	Obs        obs.Snapshot  `json:"obs"`
+}
 
 func main() {
 	modelName := flag.String("model", "gpt2-345m", "model: gpt2-345m, gpt2-762m, gpt2-1.3b, bert-large")
@@ -37,6 +56,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print the per-device timeline")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) to this path")
 	critical := flag.Bool("critical", false, "print the executed critical path")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics report (bubbles, utilization, links, memory) to this path")
 	flag.Parse()
 
 	mc, err := config.ModelByName(*modelName)
@@ -97,15 +117,35 @@ func main() {
 		fail(err)
 	}
 
+	reg := obs.NewRegistry()
 	r, err := exec.Run(s, exec.Config{
 		VirtFwd:        virtF,
 		VirtBwd:        virtB,
 		CommBytes:      bl.List[0].OutBytes,
 		Network:        cluster.Network,
 		KernelOverhead: cluster.Device.KernelOverhead,
+		Obs:            reg,
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	// Activation-memory ledger: available whenever virtual stages map 1:1 to
+	// partition stages (everything except the interleaved schedule).
+	var ledger *exec.MemoryLedger
+	if s.VirtStages == part.Stages() {
+		ledger = &exec.MemoryLedger{
+			StashBytes:  make([]int64, s.VirtStages),
+			StaticBytes: make([]int64, s.VirtStages),
+		}
+		for j := 0; j < part.Stages(); j++ {
+			lo, hi := part.Stage(j)
+			for _, blk := range bl.List[lo:hi] {
+				ledger.StashBytes[j] += blk.ActStash
+			}
+			e := memory.StageEstimate(bl, part, j, *micro, memory.OneFOneB, 1)
+			ledger.StaticBytes[j] = e.Params + e.Overhead
+		}
 	}
 
 	fmt.Printf("%s, %d stages, %d micro-batches of size %d, schedule %s\n\n",
@@ -138,12 +178,48 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := r.WriteChromeTrace(fp); err != nil {
+		opts := exec.TraceOptions{}
+		if ledger != nil {
+			opts.Ledger, opts.Schedule = ledger, s
+		}
+		if err := r.WriteChromeTraceWith(fp, opts); err != nil {
 			fp.Close()
 			fail(err)
 		}
 		fp.Close()
 		fmt.Printf("chrome trace written to %s\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		m, err := r.Metrics()
+		if err != nil {
+			fail(err)
+		}
+		m.Publish(reg)
+		rep := metricsReport{
+			Model:      mc.Name,
+			Schedule:   s.Name,
+			Stages:     *stages,
+			Micro:      *micro,
+			MicroBatch: *mbs,
+			Metrics:    m,
+			BubbleFrac: m.BubbleFraction(),
+		}
+		if ledger != nil {
+			peaks, err := ledger.PeakUsage(s, r)
+			if err != nil {
+				fail(err)
+			}
+			rep.MemPeaks = peaks
+		}
+		rep.Obs = reg.Snapshot()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics report written to %s\n", *metricsPath)
 	}
 }
 

@@ -38,6 +38,7 @@ func PlanCluster(mc config.Model, run config.Run, cluster config.Cluster) (*plan
 		bestSpec  *plan.Spec
 		bestScore float64
 		evaluated int
+		accepted  int
 	)
 	for p := 1; p <= g && p <= bl.Len(); p++ {
 		if g%p != 0 {
@@ -50,6 +51,7 @@ func PlanCluster(mc config.Model, run config.Run, cluster config.Cluster) (*plan
 			continue
 		}
 		evaluated += res.Evaluated
+		accepted += res.Telemetry.Accepted
 		// Exact memory feasibility (AutoPipe plans with the real budget; no
 		// conservative margin is needed because the partitioner's load
 		// balance keeps estimates tight).
@@ -93,9 +95,16 @@ func PlanCluster(mc config.Model, run config.Run, cluster config.Cluster) (*plan
 			return nil, nil, err
 		}
 		bestSpec.NumSliced = sp.NumSliced
+		bestSpec.SliceRounds = sp.Rounds
+		bestSpec.SliceConverged = sp.Converged
+	} else {
+		// A single stage has nothing to slice; Algorithm 2 is trivially done.
+		bestSpec.SliceConverged = true
 	}
 
 	bestSpec.SearchTime = time.Since(start)
 	bestSpec.Evaluated = evaluated
+	bestSpec.Accepted = accepted
+	bestSpec.Predicted = bestScore
 	return bestSpec, bl, nil
 }

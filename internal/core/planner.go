@@ -7,8 +7,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"autopipe/internal/model"
+	"autopipe/internal/obs"
 	"autopipe/internal/partition"
 	"autopipe/internal/sim"
 )
@@ -19,14 +21,58 @@ type Candidate struct {
 	Sim       *sim.Result
 }
 
+// Telemetry records the search effort of one fixed-depth planner run: how
+// many candidates the simulator assessed, how many improved the incumbent,
+// the convergence curve, and the wall-clock spent in each phase of the
+// heuristic (Algorithm 1 seed, step-2 cooldown flattening, step-3 master
+// moves).
+type Telemetry struct {
+	// Candidates counts partition schemes the simulator evaluated.
+	Candidates int
+	// Accepted counts evaluations that improved the best iteration time.
+	Accepted int
+	// Convergence holds the best predicted iteration time after each
+	// evaluation; its last element equals Final.
+	Convergence []float64
+	// Final is the best predicted iteration time in seconds.
+	Final float64
+	// SeedTime covers the Algorithm 1 dynamic-programming seed (including
+	// its simulation); AdjustTime the step-2 suffix redistribution;
+	// MoveTime the step-3 master-move generation and evaluation.
+	SeedTime   time.Duration
+	AdjustTime time.Duration
+	MoveTime   time.Duration
+}
+
+// Publish exports the telemetry into an obs registry under the prefix, e.g.
+// "planner.p4.candidates".
+func (t *Telemetry) Publish(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".candidates").Add(float64(t.Candidates))
+	reg.Counter(prefix + ".accepted").Add(float64(t.Accepted))
+	reg.Gauge(prefix + ".final_iter_s").Set(t.Final)
+	reg.Gauge(prefix + ".seed_s").Set(t.SeedTime.Seconds())
+	reg.Gauge(prefix + ".adjust_s").Set(t.AdjustTime.Seconds())
+	reg.Gauge(prefix + ".move_s").Set(t.MoveTime.Seconds())
+	h := reg.Histogram(prefix + ".convergence_s")
+	for _, v := range t.Convergence {
+		h.Observe(v)
+	}
+}
+
 // PlanResult is the outcome of a fixed-depth heuristic search.
 type PlanResult struct {
 	Best Candidate
 	// Evaluated counts how many partition schemes the simulator assessed —
-	// the search-effort metric behind the paper's Fig. 12 comparison.
+	// the search-effort metric behind the paper's Fig. 12 comparison. It
+	// always equals Telemetry.Candidates.
 	Evaluated int
 	// Seed is the Algorithm 1 starting point, kept for ablations.
 	Seed Candidate
+	// Telemetry details the search effort behind Best.
+	Telemetry Telemetry
 }
 
 // PlanDepth searches for a balanced partition of bl into p stages for
@@ -34,6 +80,7 @@ type PlanResult struct {
 func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 	if p == 1 {
 		// A single stage has no pipeline structure; simulate directly.
+		start := time.Now()
 		part, err := partition.New([]int{0, bl.Len()}, bl.Len())
 		if err != nil {
 			return nil, err
@@ -42,9 +89,17 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &PlanResult{Best: c, Seed: c, Evaluated: 1}, nil
+		tel := Telemetry{
+			Candidates:  1,
+			Accepted:    1,
+			Convergence: []float64{c.Sim.IterTime},
+			Final:       c.Sim.IterTime,
+			SeedTime:    time.Since(start),
+		}
+		return &PlanResult{Best: c, Seed: c, Evaluated: 1, Telemetry: tel}, nil
 	}
 
+	seedStart := time.Now()
 	weights := bl.Weights()
 	seedPart, err := partition.Balance(weights, p)
 	if err != nil {
@@ -57,7 +112,12 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 	}
 	res.Seed = seed
 	res.Best = seed
-	res.Evaluated = 1
+	res.Telemetry = Telemetry{
+		Candidates:  1,
+		Accepted:    1,
+		Convergence: []float64{seed.Sim.IterTime},
+		SeedTime:    time.Since(seedStart),
+	}
 
 	visited := map[string]bool{seedPart.Key(): true}
 	queue := []Candidate{seed}
@@ -72,10 +132,12 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 		if err != nil {
 			return Candidate{}, false, err
 		}
-		res.Evaluated++
+		res.Telemetry.Candidates++
 		if c.Sim.IterTime < res.Best.Sim.IterTime {
 			res.Best = c
+			res.Telemetry.Accepted++
 		}
+		res.Telemetry.Convergence = append(res.Telemetry.Convergence, res.Best.Sim.IterTime)
 		return c, true, nil
 	}
 
@@ -86,6 +148,7 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 
 		// Step 2: eliminate Cooldown bubbles after the master stage by
 		// redistributing the suffix so that Eq. (1) holds.
+		adjustStart := time.Now()
 		if adj, changed := adjustAfterMaster(bl, cur.Partition, i); changed {
 			c, fresh, err := push(adj)
 			if err != nil {
@@ -103,12 +166,14 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 				}
 			}
 		}
+		res.Telemetry.AdjustTime += time.Since(adjustStart)
 
 		// Step 3: the master stage cannot move before stage 0; stop here.
 		if i == 0 {
 			continue
 		}
 
+		moveStart := time.Now()
 		for _, next := range masterMoves(bl, cur.Partition, i, weights) {
 			c, fresh, err := push(next)
 			if err != nil {
@@ -120,7 +185,10 @@ func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
 				queue = append(queue, c)
 			}
 		}
+		res.Telemetry.MoveTime += time.Since(moveStart)
 	}
+	res.Evaluated = res.Telemetry.Candidates
+	res.Telemetry.Final = res.Best.Sim.IterTime
 	return res, nil
 }
 

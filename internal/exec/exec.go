@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"autopipe/internal/config"
+	"autopipe/internal/obs"
 	"autopipe/internal/schedule"
 )
 
@@ -35,6 +36,9 @@ type Config struct {
 	Jitter float64
 	// Seed selects the jitter stream.
 	Seed uint64
+	// Obs, if non-nil, receives execution counters (ops, messages, bytes)
+	// and a run span.
+	Obs *obs.Registry
 }
 
 // OpTrace records one executed operation.
@@ -42,6 +46,31 @@ type OpTrace struct {
 	Op         schedule.Op
 	Device     int
 	Start, End float64
+	// InputReady and InputArrive are the op's cross-stage input payload-ready
+	// time (producer compute done, transfer could begin) and arrival time at
+	// this device; both are -1 when the op has no cross-stage input. The gap
+	// between them is time the payload spent queued on or crossing the link,
+	// the basis of the comm-wait/dependency-wait bubble split.
+	InputReady, InputArrive float64
+}
+
+// MsgTrace records one cross-stage payload transfer.
+type MsgTrace struct {
+	// Kind, Virt, Micro, Half identify the producing op.
+	Kind  schedule.OpKind
+	Virt  int
+	Micro int
+	Half  int
+	// From and To are the endpoint devices (equal for a same-device hop
+	// between interleaved virtual stages, which occupies no link).
+	From, To int
+	// Bytes is the payload size (both halves for an aggregated send).
+	Bytes int64
+	// Ready is when the payload was complete on the producer; Start is when
+	// it entered the link (after queueing behind earlier messages); Free is
+	// when the link finished serializing it; Arrive is when the consumer can
+	// use it (Free + latency).
+	Ready, Start, Free, Arrive float64
 }
 
 // Result is the outcome of executing a schedule.
@@ -56,6 +85,8 @@ type Result struct {
 	Traces [][]OpTrace
 	// Busy is per-device total compute time.
 	Busy []float64
+	// Msgs holds every cross-stage transfer in issue order.
+	Msgs []MsgTrace
 }
 
 type msgKey struct {
@@ -63,6 +94,12 @@ type msgKey struct {
 	virt  int // producer's virtual stage
 	micro int
 	half  int
+}
+
+// arrivalInfo records a delivered cross-stage payload: when the producer had
+// it ready to transfer and when the consumer received it.
+type arrivalInfo struct {
+	ready, arrival float64
 }
 
 // Run executes s under cfg.
@@ -74,9 +111,13 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("exec: schedule has %d virtual stages, config has %d fwd / %d bwd times",
 			s.VirtStages, len(cfg.VirtFwd), len(cfg.VirtBwd))
 	}
+	var span *obs.Span
+	if cfg.Obs != nil {
+		span = cfg.Obs.StartSpan("exec.run")
+	}
 
 	rng := jitterStream{state: cfg.Seed*2862933555777941757 + 3037000493}
-	arrived := map[msgKey]float64{}
+	arrived := map[msgKey]arrivalInfo{}
 	// pendingHalf holds the compute end of a NoSend half, released by the
 	// sibling's aggregated send.
 	pendingHalf := map[msgKey]float64{}
@@ -91,18 +132,22 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		remaining += len(ops)
 	}
 
-	transfer := func(from, to int, bytes int64, ready float64) float64 {
-		if from == to {
-			return ready
+	transfer := func(m MsgTrace) float64 {
+		if m.From == m.To {
+			m.Start, m.Free, m.Arrive = m.Ready, m.Ready, m.Ready
+			res.Msgs = append(res.Msgs, m)
+			return m.Ready
 		}
-		key := [2]int{from, to}
-		start := ready
-		if linkFree[key] > start {
-			start = linkFree[key]
+		key := [2]int{m.From, m.To}
+		m.Start = m.Ready
+		if linkFree[key] > m.Start {
+			m.Start = linkFree[key]
 		}
-		arrival := start + cfg.Network.Latency + float64(bytes)/cfg.Network.Bandwidth
-		linkFree[key] = arrival - cfg.Network.Latency
-		return arrival
+		m.Arrive = m.Start + cfg.Network.Latency + float64(m.Bytes)/cfg.Network.Bandwidth
+		m.Free = m.Arrive - cfg.Network.Latency
+		linkFree[key] = m.Free
+		res.Msgs = append(res.Msgs, m)
+		return m.Arrive
 	}
 
 	for remaining > 0 {
@@ -110,20 +155,24 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		for d := 0; d < s.Devices; d++ {
 			for next[d] < len(s.Ops[d]) {
 				op := s.Ops[d][next[d]]
-				ready, inputAt := inputsReady(op, s, arrived)
+				ready, input, hasInput := inputsReady(op, s, arrived)
 				if !ready {
 					break
 				}
 				start := devFree[d]
-				if inputAt > start {
-					start = inputAt
+				if hasInput && input.arrival > start {
+					start = input.arrival
 				}
 				start += cfg.KernelOverhead
 				dur := opDuration(op, cfg, &rng)
 				end := start + dur
 				devFree[d] = end
 				res.Busy[d] += dur
-				res.Traces[d] = append(res.Traces[d], OpTrace{Op: op, Device: d, Start: start, End: end})
+				tr := OpTrace{Op: op, Device: d, Start: start, End: end, InputReady: -1, InputArrive: -1}
+				if hasInput {
+					tr.InputReady, tr.InputArrive = input.ready, input.arrival
+				}
+				res.Traces[d] = append(res.Traces[d], tr)
 				if d == s.Devices-1 && math.IsNaN(res.Startup) {
 					res.Startup = start - cfg.KernelOverhead
 				}
@@ -148,12 +197,33 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 	if math.IsNaN(res.Startup) {
 		res.Startup = 0
 	}
+	if cfg.Obs != nil {
+		ops := 0
+		for _, traces := range res.Traces {
+			ops += len(traces)
+		}
+		var bytes int64
+		links := 0
+		for _, m := range res.Msgs {
+			if m.From != m.To {
+				bytes += m.Bytes
+				links++
+			}
+		}
+		cfg.Obs.Counter("exec.ops").Add(float64(ops))
+		cfg.Obs.Counter("exec.messages").Add(float64(links))
+		cfg.Obs.Counter("exec.bytes").Add(float64(bytes))
+		cfg.Obs.Gauge("exec.iter_time_s").Set(res.IterTime)
+		cfg.Obs.Gauge("exec.startup_s").Set(res.Startup)
+		span.End()
+	}
 	return res, nil
 }
 
 // inputsReady reports whether op's cross-stage input (if any) has arrived,
-// and at what time.
-func inputsReady(op schedule.Op, s *schedule.Schedule, arrived map[msgKey]float64) (bool, float64) {
+// and with what timing. hasInput is false for ops with no cross-stage
+// dependency.
+func inputsReady(op schedule.Op, s *schedule.Schedule, arrived map[msgKey]arrivalInfo) (ready bool, info arrivalInfo, hasInput bool) {
 	var need msgKey
 	switch {
 	case op.Kind == schedule.Fwd && op.Virt > 0:
@@ -161,10 +231,10 @@ func inputsReady(op schedule.Op, s *schedule.Schedule, arrived map[msgKey]float6
 	case op.Kind == schedule.Bwd && op.Virt < s.VirtStages-1:
 		need = msgKey{schedule.Bwd, op.Virt + 1, op.Micro, op.Half}
 	default:
-		return true, 0
+		return true, arrivalInfo{}, false
 	}
-	at, ok := arrived[need]
-	return ok, at
+	info, ok := arrived[need]
+	return ok, info, true
 }
 
 // opDuration returns op's compute time, with optional jitter.
@@ -187,7 +257,7 @@ func opDuration(op schedule.Op, cfg Config, rng *jitterStream) float64 {
 // deliver schedules op's output transfer (if any) and deposits the arrival
 // times consumers wait on.
 func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
-	arrived, pendingHalf map[msgKey]float64, transfer func(from, to int, bytes int64, ready float64) float64) {
+	arrived map[msgKey]arrivalInfo, pendingHalf map[msgKey]float64, transfer func(MsgTrace) float64) {
 
 	var destVirt int
 	switch {
@@ -201,6 +271,7 @@ func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
 	from := s.DeviceOf[op.Virt]
 	to := s.DeviceOf[destVirt]
 	self := msgKey{op.Kind, op.Virt, op.Micro, op.Half}
+	msg := MsgTrace{Kind: op.Kind, Virt: op.Virt, Micro: op.Micro, Half: op.Half, From: from, To: to}
 
 	switch {
 	case op.NoSend:
@@ -213,15 +284,17 @@ func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
 			ready = t
 		}
 		delete(pendingHalf, sibling)
-		arrival := transfer(from, to, cfg.CommBytes, ready) // both halves in one message
-		arrived[self] = arrival
-		arrived[sibling] = arrival
+		msg.Bytes, msg.Ready = cfg.CommBytes, ready // both halves in one message
+		arrival := transfer(msg)
+		arrived[self] = arrivalInfo{ready, arrival}
+		arrived[sibling] = arrivalInfo{ready, arrival}
 	default:
 		bytes := cfg.CommBytes
 		if op.Half >= 0 {
 			bytes /= 2
 		}
-		arrived[self] = transfer(from, to, bytes, end)
+		msg.Bytes, msg.Ready = bytes, end
+		arrived[self] = arrivalInfo{end, transfer(msg)}
 	}
 }
 
@@ -238,8 +311,12 @@ func (j *jitterStream) next() float64 {
 }
 
 // Gantt renders a text timeline, one device per row, for debugging and the
-// pipesim tool.
+// pipesim tool. A result with no devices renders a single header line; a
+// device with no ops renders its row header with no entries.
 func (r *Result) Gantt() string {
+	if len(r.Traces) == 0 {
+		return "(empty trace)\n"
+	}
 	var sb strings.Builder
 	for d, traces := range r.Traces {
 		fmt.Fprintf(&sb, "dev %d:", d)
@@ -251,7 +328,9 @@ func (r *Result) Gantt() string {
 	return sb.String()
 }
 
-// Utilization returns per-device busy fraction of the makespan.
+// Utilization returns per-device busy fraction of the makespan. When the
+// makespan is zero (an empty or degenerate execution) every fraction is 0
+// rather than NaN/Inf from a zero division.
 func (r *Result) Utilization() []float64 {
 	out := make([]float64, len(r.Busy))
 	if r.IterTime <= 0 {

@@ -98,3 +98,43 @@ func TestStartupZeroForSingleDevice(t *testing.T) {
 		t.Errorf("single-device startup = %v", r.Startup)
 	}
 }
+
+// TestDeadlockErrorMessage pins the remaining-op accounting in the deadlock
+// report: the message names the schedule and says how many ops never ran.
+func TestDeadlockErrorMessage(t *testing.T) {
+	s, _ := schedule.OneFOneB(2, 2)
+	s.Ops[0][0], s.Ops[0][2] = s.Ops[0][2], s.Ops[0][0]
+	_, err := Run(s, uniformCfg(2, 1, 2))
+	if err == nil {
+		t.Fatal("corrupted schedule executed")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadlocked with") || !strings.Contains(msg, "ops remaining") {
+		t.Errorf("error %q lacks the remaining-op count", msg)
+	}
+	if !strings.Contains(msg, s.Name) {
+		t.Errorf("error %q does not name schedule %q", msg, s.Name)
+	}
+	// The circular wait strikes before anything can run: all 8 ops remain.
+	if !strings.Contains(msg, "8 ops remaining") {
+		t.Errorf("error %q, want 8 ops remaining", msg)
+	}
+}
+
+// TestEmptyResultEdges: a zero-value Result must render a placeholder Gantt
+// line and zero utilization instead of dividing by a zero makespan.
+func TestEmptyResultEdges(t *testing.T) {
+	r := &Result{}
+	if got := r.Gantt(); got != "(empty trace)\n" {
+		t.Errorf("empty Gantt = %q", got)
+	}
+	if u := r.Utilization(); len(u) != 0 {
+		t.Errorf("empty Utilization = %v", u)
+	}
+	r.Busy = []float64{1, 2}
+	for _, u := range r.Utilization() {
+		if u != 0 {
+			t.Errorf("zero-makespan utilization = %v", r.Utilization())
+		}
+	}
+}

@@ -21,9 +21,66 @@ type MemoryLedger struct {
 	StaticBytes []int64
 }
 
+// MemSample is one point of a device's live-memory timeline.
+type MemSample struct {
+	At    float64 `json:"at"`
+	Bytes int64   `json:"bytes"`
+}
+
+// Timeline replays the executed trace and returns each device's live-memory
+// step function: one sample per change, starting from the static footprint
+// at t=0. The last sample of every device returns to the static footprint (a
+// leak is an error, as in PeakUsage).
+func (l *MemoryLedger) Timeline(s *schedule.Schedule, r *Result) ([][]MemSample, error) {
+	events, err := l.events(s, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]MemSample, s.Devices)
+	usage := make([]int64, s.Devices)
+	copy(usage, l.StaticBytes)
+	for d := range out {
+		out[d] = []MemSample{{At: 0, Bytes: usage[d]}}
+	}
+	for _, e := range events {
+		usage[e.device] += e.delta
+		out[e.device] = append(out[e.device], MemSample{At: e.at, Bytes: usage[e.device]})
+	}
+	for d, u := range usage {
+		if u != l.static(d) {
+			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
+		}
+	}
+	return out, nil
+}
+
 // PeakUsage replays the executed trace in event order and returns the peak
 // memory per device.
 func (l *MemoryLedger) PeakUsage(s *schedule.Schedule, r *Result) ([]int64, error) {
+	events, err := l.events(s, r)
+	if err != nil {
+		return nil, err
+	}
+	usage := make([]int64, s.Devices)
+	peak := make([]int64, s.Devices)
+	copy(usage, l.StaticBytes)
+	copy(peak, l.StaticBytes)
+	for _, e := range events {
+		usage[e.device] += e.delta
+		if usage[e.device] > peak[e.device] {
+			peak[e.device] = usage[e.device]
+		}
+	}
+	for d, u := range usage {
+		if u != l.static(d) {
+			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
+		}
+	}
+	return peak, nil
+}
+
+// events builds the time-sorted alloc/free event stream of the trace.
+func (l *MemoryLedger) events(s *schedule.Schedule, r *Result) ([]event, error) {
 	if len(l.StashBytes) != s.VirtStages {
 		return nil, fmt.Errorf("exec: ledger has %d stage stashes, schedule has %d virtual stages",
 			len(l.StashBytes), s.VirtStages)
@@ -49,23 +106,7 @@ func (l *MemoryLedger) PeakUsage(s *schedule.Schedule, r *Result) ([]int64, erro
 	// Stable in-time order; frees at equal timestamps apply first so a
 	// back-to-back release/alloc pair is not double-counted.
 	sortEvents(events)
-
-	usage := make([]int64, s.Devices)
-	peak := make([]int64, s.Devices)
-	copy(usage, l.StaticBytes)
-	copy(peak, l.StaticBytes)
-	for _, e := range events {
-		usage[e.device] += e.delta
-		if usage[e.device] > peak[e.device] {
-			peak[e.device] = usage[e.device]
-		}
-	}
-	for d, u := range usage {
-		if u != l.static(d) {
-			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
-		}
-	}
-	return peak, nil
+	return events, nil
 }
 
 func (l *MemoryLedger) static(d int) int64 {

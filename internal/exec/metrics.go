@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"autopipe/internal/obs"
+	"autopipe/internal/schedule"
+)
+
+// DeviceMetrics decomposes one device's iteration timeline. The fields
+// tile the makespan exactly:
+//
+//	Busy + WarmupBubble + SteadyBubble + CooldownBubble = IterTime
+//
+// Bubbles are attributed by wall-clock windows: the warmup window runs from
+// t=0 to the start of the device's first steady-phase op, the steady window
+// to the end of its last steady-phase op, and the cooldown window to the end
+// of the iteration (see schedule.PhasesOf for the op classification).
+// CommWait and DepWait further split the device's cross-stage input stalls:
+// CommWait is idle time while the needed payload was queued on or crossing a
+// link, DepWait is idle time while the producer was still computing it.
+type DeviceMetrics struct {
+	Device         int     `json:"device"`
+	Busy           float64 `json:"busySeconds"`
+	WarmupBubble   float64 `json:"warmupBubbleSeconds"`
+	SteadyBubble   float64 `json:"steadyBubbleSeconds"`
+	CooldownBubble float64 `json:"cooldownBubbleSeconds"`
+	CommWait       float64 `json:"commWaitSeconds"`
+	DepWait        float64 `json:"depWaitSeconds"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// Bubble returns the device's total idle time.
+func (d DeviceMetrics) Bubble() float64 {
+	return d.WarmupBubble + d.SteadyBubble + d.CooldownBubble
+}
+
+// LinkMetrics aggregates traffic over one directed device-to-device link.
+type LinkMetrics struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Messages  int     `json:"messages"`
+	Bytes     int64   `json:"bytes"`
+	BusyTime  float64 `json:"busySeconds"`
+	Occupancy float64 `json:"occupancy"`
+}
+
+// Metrics is the full observability decomposition of an executed schedule.
+type Metrics struct {
+	IterTime float64         `json:"iterTimeSeconds"`
+	Startup  float64         `json:"startupSeconds"`
+	Devices  []DeviceMetrics `json:"devices"`
+	Links    []LinkMetrics   `json:"links"`
+}
+
+// BubbleFraction returns total idle time over total device-time — the
+// pipeline's aggregate bubble ratio.
+func (m *Metrics) BubbleFraction() float64 {
+	if m.IterTime <= 0 || len(m.Devices) == 0 {
+		return 0
+	}
+	var idle float64
+	for _, d := range m.Devices {
+		idle += d.Bubble()
+	}
+	return idle / (m.IterTime * float64(len(m.Devices)))
+}
+
+// Metrics computes the bubble decomposition with phase windows derived from
+// the executed trace itself (each device's own warmup/steady/cooldown op
+// spans).
+func (r *Result) Metrics() (*Metrics, error) {
+	return r.MetricsWithWindows(r.PhaseWindows())
+}
+
+// PhaseWindows derives per-device [warmup-end, steady-end] boundaries from
+// the executed trace: the start of the device's first steady op and the end
+// of its last. Devices with no steady ops (GPipe) collapse the steady window
+// at the start of their first cooldown op; devices with no ops at all have
+// both boundaries at the makespan.
+func (r *Result) PhaseWindows() [][2]float64 {
+	out := make([][2]float64, len(r.Traces))
+	for d, traces := range r.Traces {
+		ops := make([]schedule.Op, len(traces))
+		for i, tr := range traces {
+			ops[i] = tr.Op
+		}
+		phases := schedule.PhasesOf(ops)
+		t1, t2 := r.IterTime, r.IterTime
+		firstSteady, lastSteady, firstCool := -1, -1, -1
+		for i, ph := range phases {
+			switch ph {
+			case schedule.Steady:
+				if firstSteady < 0 {
+					firstSteady = i
+				}
+				lastSteady = i
+			case schedule.Cooldown:
+				if firstCool < 0 {
+					firstCool = i
+				}
+			}
+		}
+		switch {
+		case firstSteady >= 0:
+			t1, t2 = traces[firstSteady].Start, traces[lastSteady].End
+		case firstCool >= 0:
+			t1, t2 = traces[firstCool].Start, traces[firstCool].Start
+		}
+		out[d] = [2]float64{t1, t2}
+	}
+	return out
+}
+
+// MetricsWithWindows computes the decomposition with explicit per-device
+// phase boundaries — e.g. the analytic simulator's phase windows
+// (sim.Result.PhaseWindows), which lets the executor's measured bubbles be
+// attributed on the same boundaries the planner reasoned about.
+func (r *Result) MetricsWithWindows(windows [][2]float64) (*Metrics, error) {
+	if len(windows) != len(r.Traces) {
+		return nil, fmt.Errorf("exec: %d phase windows for %d devices", len(windows), len(r.Traces))
+	}
+	m := &Metrics{IterTime: r.IterTime, Startup: r.Startup}
+	for d, traces := range r.Traces {
+		t1, t2 := windows[d][0], windows[d][1]
+		if t1 < 0 || t2 < t1 || t2 > r.IterTime+1e-12 {
+			return nil, fmt.Errorf("exec: device %d has bad phase window [%g, %g] in makespan %g", d, t1, t2, r.IterTime)
+		}
+		dm := DeviceMetrics{Device: d, Busy: r.Busy[d]}
+		// Busy time inside each window; the bubble is the remainder.
+		var busyW, busyS, busyC float64
+		prevEnd := 0.0
+		for _, tr := range traces {
+			busyW += overlap(tr.Start, tr.End, 0, t1)
+			busyS += overlap(tr.Start, tr.End, t1, t2)
+			busyC += overlap(tr.Start, tr.End, t2, r.IterTime)
+			// Input-stall split for the idle gap before this op: the device
+			// idled [prevEnd, start); the part after the payload was ready
+			// but not yet delivered is comm wait, the part waiting on the
+			// producer's compute is dependency wait.
+			if tr.InputArrive >= 0 {
+				stallEnd := minf(tr.Start, tr.InputArrive)
+				if stallEnd > prevEnd {
+					comm := stallEnd - maxf(prevEnd, tr.InputReady)
+					if comm < 0 {
+						comm = 0
+					}
+					dm.CommWait += comm
+					dm.DepWait += stallEnd - prevEnd - comm
+				}
+			}
+			prevEnd = tr.End
+		}
+		dm.WarmupBubble = t1 - busyW
+		dm.SteadyBubble = (t2 - t1) - busyS
+		dm.CooldownBubble = (r.IterTime - t2) - busyC
+		if r.IterTime > 0 {
+			dm.Utilization = dm.Busy / r.IterTime
+		}
+		m.Devices = append(m.Devices, dm)
+	}
+
+	type linkKey struct{ from, to int }
+	links := map[linkKey]*LinkMetrics{}
+	for _, msg := range r.Msgs {
+		if msg.From == msg.To {
+			continue
+		}
+		k := linkKey{msg.From, msg.To}
+		lm, ok := links[k]
+		if !ok {
+			lm = &LinkMetrics{From: msg.From, To: msg.To}
+			links[k] = lm
+		}
+		lm.Messages++
+		lm.Bytes += msg.Bytes
+		lm.BusyTime += msg.Free - msg.Start
+	}
+	for _, lm := range links {
+		if r.IterTime > 0 {
+			lm.Occupancy = lm.BusyTime / r.IterTime
+		}
+		m.Links = append(m.Links, *lm)
+	}
+	sort.Slice(m.Links, func(i, j int) bool {
+		if m.Links[i].From != m.Links[j].From {
+			return m.Links[i].From < m.Links[j].From
+		}
+		return m.Links[i].To < m.Links[j].To
+	})
+	return m, nil
+}
+
+// Publish exports the metrics into an obs registry under the "exec." prefix:
+// per-device gauges for busy/bubble/utilization and per-link counters for
+// traffic.
+func (m *Metrics) Publish(reg *obs.Registry) {
+	reg.Gauge("exec.iter_time_s").Set(m.IterTime)
+	reg.Gauge("exec.startup_s").Set(m.Startup)
+	reg.Gauge("exec.bubble_fraction").Set(m.BubbleFraction())
+	for _, d := range m.Devices {
+		p := fmt.Sprintf("exec.dev%d.", d.Device)
+		reg.Gauge(p + "busy_s").Set(d.Busy)
+		reg.Gauge(p + "warmup_bubble_s").Set(d.WarmupBubble)
+		reg.Gauge(p + "steady_bubble_s").Set(d.SteadyBubble)
+		reg.Gauge(p + "cooldown_bubble_s").Set(d.CooldownBubble)
+		reg.Gauge(p + "comm_wait_s").Set(d.CommWait)
+		reg.Gauge(p + "dep_wait_s").Set(d.DepWait)
+		reg.Gauge(p + "utilization").Set(d.Utilization)
+	}
+	for _, l := range m.Links {
+		p := fmt.Sprintf("exec.link%d_%d.", l.From, l.To)
+		reg.Counter(p + "messages").Add(float64(l.Messages))
+		reg.Counter(p + "bytes").Add(float64(l.Bytes))
+		reg.Gauge(p + "occupancy").Set(l.Occupancy)
+	}
+}
+
+// overlap returns the length of [a,b) ∩ [lo,hi).
+func overlap(a, b, lo, hi float64) float64 {
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

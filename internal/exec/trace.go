@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"autopipe/internal/schedule"
 )
@@ -11,39 +12,220 @@ import (
 // chromeEvent is one entry of the Chrome trace-event format ("traceEvents"),
 // loadable in chrome://tracing or Perfetto.
 type chromeEvent struct {
-	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	Ph   string `json:"ph"`
-	TS   int64  `json:"ts"`  // microseconds
-	Dur  int64  `json:"dur"` // microseconds
-	PID  int    `json:"pid"`
-	TID  int    `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`            // microseconds
+	Dur  int64          `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"` // flow binding
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceOptions enriches WriteChromeTraceWith beyond the default timeline.
+type TraceOptions struct {
+	// Ledger, with Schedule, adds per-device live-memory counter tracks.
+	Ledger *MemoryLedger
+	// Schedule is required when Ledger is set.
+	Schedule *schedule.Schedule
 }
 
 // WriteChromeTrace emits the executed timeline in the Chrome trace-event
-// JSON format: one track per device, forwards and backwards as complete
-// events. Open the file in chrome://tracing or ui.perfetto.dev.
+// JSON format: one named thread per device, phase-categorized complete
+// events for every op, flow arrows connecting each cross-stage send to its
+// consumer(s), and counter tracks for per-link in-flight messages. Events
+// are sorted by (pid, tid, ts) with metadata first, and the document carries
+// displayTimeUnit "ms". Open the file in chrome://tracing or ui.perfetto.dev.
 func (r *Result) WriteChromeTrace(w io.Writer) error {
-	var events []chromeEvent
+	return r.WriteChromeTraceWith(w, TraceOptions{})
+}
+
+// WriteChromeTraceWith is WriteChromeTrace plus the optional extras in opts.
+func (r *Result) WriteChromeTraceWith(w io.Writer, opts TraceOptions) error {
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", Args: map[string]any{"name": "pipeline cluster"}},
+	}
+	for d := range r.Traces {
+		events = append(events,
+			chromeEvent{Name: "thread_name", Ph: "M", TID: d, Args: map[string]any{"name": fmt.Sprintf("device %d", d)}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", TID: d, Args: map[string]any{"sort_index": d}},
+		)
+	}
+
+	type key struct {
+		kind  schedule.OpKind
+		virt  int
+		micro int
+		half  int
+	}
+	byOp := map[key]OpTrace{}
 	for d, traces := range r.Traces {
-		for _, tr := range traces {
+		ops := make([]schedule.Op, len(traces))
+		for i, tr := range traces {
+			ops[i] = tr.Op
+			byOp[key{tr.Op.Kind, tr.Op.Virt, tr.Op.Micro, tr.Op.Half}] = tr
+		}
+		for i, ph := range schedule.PhasesOf(ops) {
+			tr := traces[i]
 			cat := "fwd"
 			if tr.Op.Kind == schedule.Bwd {
 				cat = "bwd"
 			}
 			events = append(events, chromeEvent{
 				Name: tr.Op.String(),
-				Cat:  cat,
+				Cat:  cat + "," + ph.String(),
 				Ph:   "X",
 				TS:   int64(tr.Start * 1e6),
 				Dur:  int64((tr.End - tr.Start) * 1e6),
-				PID:  0,
 				TID:  d,
+				Args: map[string]any{"micro": tr.Op.Micro, "virt": tr.Op.Virt, "phase": ph.String()},
 			})
 		}
 	}
+
+	// Flow arrows: one per (message, consumer). A consumer is the matching
+	// half downstream; an aggregated send (its sibling half produced no
+	// message of its own) additionally feeds the sibling half's consumer.
+	sent := map[key]bool{}
+	for _, m := range r.Msgs {
+		sent[key{m.Kind, m.Virt, m.Micro, m.Half}] = true
+	}
+	flowID := 0
+	for _, m := range r.Msgs {
+		destVirt := m.Virt + 1
+		if m.Kind == schedule.Bwd {
+			destVirt = m.Virt - 1
+		}
+		prod, ok := byOp[key{m.Kind, m.Virt, m.Micro, m.Half}]
+		if !ok {
+			continue
+		}
+		halves := []int{m.Half}
+		if m.Half >= 0 && !sent[key{m.Kind, m.Virt, m.Micro, (m.Half + 1) % 2}] {
+			halves = append(halves, (m.Half+1)%2)
+		}
+		for _, h := range halves {
+			cons, ok := byOp[key{m.Kind, destVirt, m.Micro, h}]
+			if !ok {
+				continue
+			}
+			flowID++
+			events = append(events,
+				chromeEvent{Name: "xfer", Cat: "comm", Ph: "s", TS: int64(prod.End * 1e6), TID: m.From, ID: flowID,
+					Args: map[string]any{"bytes": m.Bytes}},
+				chromeEvent{Name: "xfer", Cat: "comm", Ph: "f", BP: "e", TS: int64(cons.Start * 1e6), TID: m.To, ID: flowID},
+			)
+		}
+	}
+
+	events = append(events, linkCounterEvents(r.Msgs)...)
+
+	if opts.Ledger != nil && opts.Schedule != nil {
+		timeline, err := opts.Ledger.Timeline(opts.Schedule, r)
+		if err != nil {
+			return err
+		}
+		for d, samples := range timeline {
+			name := fmt.Sprintf("mem dev %d", d)
+			for _, smp := range samples {
+				events = append(events, chromeEvent{
+					Name: name, Ph: "C", TS: int64(smp.At * 1e6), TID: d,
+					Args: map[string]any{"bytes": smp.Bytes},
+				})
+			}
+		}
+	}
+
+	sortEventsForTrace(events)
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": events})
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}
+
+// linkCounterEvents renders each directed link's in-flight message count as
+// a counter track.
+func linkCounterEvents(msgs []MsgTrace) []chromeEvent {
+	type edge struct {
+		at    float64
+		delta int
+	}
+	links := map[[2]int][]edge{}
+	for _, m := range msgs {
+		if m.From == m.To {
+			continue
+		}
+		k := [2]int{m.From, m.To}
+		links[k] = append(links[k], edge{m.Start, +1}, edge{m.Free, -1})
+	}
+	var keys [][2]int
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var events []chromeEvent
+	for _, k := range keys {
+		edges := links[k]
+		sort.SliceStable(edges, func(i, j int) bool {
+			if edges[i].at != edges[j].at {
+				return edges[i].at < edges[j].at
+			}
+			return edges[i].delta < edges[j].delta // frees first
+		})
+		name := fmt.Sprintf("link %d->%d", k[0], k[1])
+		inflight := 0
+		for _, e := range edges {
+			inflight += e.delta
+			events = append(events, chromeEvent{
+				Name: name, Ph: "C", TS: int64(e.at * 1e6), TID: k[0],
+				Args: map[string]any{"inflight": inflight},
+			})
+		}
+	}
+	return events
+}
+
+// sortEventsForTrace orders events by (pid, tid, ts) with metadata first and
+// a fixed phase rank for determinism at equal timestamps.
+func sortEventsForTrace(events []chromeEvent) {
+	rank := func(ph string) int {
+		switch ph {
+		case "M":
+			return 0
+		case "C":
+			return 1
+		case "X":
+			return 2
+		case "s":
+			return 3
+		default:
+			return 4
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if ra, rb := rank(a.Ph), rank(b.Ph); (ra == 0) != (rb == 0) {
+			return ra == 0 // metadata leads its thread regardless of ts
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return rank(a.Ph) < rank(b.Ph)
+	})
 }
 
 // CriticalPath reconstructs the critical path of an executed schedule from

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fields carries an event's key/value payload.
+type Fields map[string]any
+
+// Event is one structured observation.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Name   string    `json:"name"`
+	Fields Fields    `json:"fields,omitempty"`
+}
+
+// Sink receives emitted events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONSink encodes each event as one JSON object per line.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink wraps w.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{enc: json.NewEncoder(w)} }
+
+// Emit writes the event; encoding errors are deliberately dropped (an
+// observability layer must never fail the observed computation).
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// TextSink renders each event as a single human-readable line:
+//
+//	2026-08-06T10:00:00Z planner.eval iter=0.123 stage=2
+//
+// with fields in lexical key order.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink wraps w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit writes the event; write errors are dropped.
+func (s *TextSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "%s %s", e.Time.UTC().Format(time.RFC3339Nano), e.Name)
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(s.w, " %s=%v", k, e.Fields[k])
+	}
+	fmt.Fprintln(s.w)
+}
+
+// MemorySink buffers events in order, for tests and post-run inspection.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the sorted text encoding of the snapshot.
+func (s Snapshot) WriteText(w io.Writer) error {
+	_, err := io.WriteString(w, s.String())
+	return err
+}

@@ -44,6 +44,16 @@ type Spec struct {
 	// SearchTime and Evaluated record planning effort (paper Fig. 12).
 	SearchTime time.Duration
 	Evaluated  int
+	// Accepted counts search candidates that improved the incumbent across
+	// all depths, and Predicted is the planner's best predicted iteration
+	// time in seconds (simulated pipeline plus gradient all-reduce) —
+	// together with Evaluated these form the planner-telemetry record.
+	Accepted  int
+	Predicted float64
+	// SliceRounds and SliceConverged record the Algorithm 2 slicing search
+	// for the chosen partition (zero-valued when the plan is depth 1).
+	SliceRounds    int
+	SliceConverged bool
 }
 
 // Depth returns the pipeline depth.

@@ -132,6 +132,73 @@ func (s *Schedule) Validate() error {
 	return nil
 }
 
+// Phase labels the pipeline phase an op belongs to on its device's
+// timeline, the unit of the executor's bubble decomposition (paper Fig. 5).
+type Phase int
+
+const (
+	// Warmup ops are the forwards a device issues before its first backward.
+	Warmup Phase = iota
+	// Steady ops alternate forwards and backwards (the 1F1B phase).
+	Steady
+	// Cooldown ops are the backwards after the device's last forward.
+	Cooldown
+)
+
+var phaseNames = [...]string{"warmup", "steady", "cooldown"}
+
+func (p Phase) String() string { return phaseNames[p] }
+
+// PhasesOf classifies one device's issue-order op list. The Steady (1F1B)
+// phase starts at the forward block paired with the device's first backward
+// — the forward(s) immediately preceding it with the same micro-batch, so a
+// sliced pair of halves enters Steady together, matching the paper's Fig. 6
+// block pairing — and ends at the backward paired with the device's last
+// forward; everything before is Warmup and everything after is Cooldown.
+// The rule needs no schedule metadata, so it applies uniformly to 1F1B,
+// GPipe, sliced, and interleaved layouts, and on 1F1B it reproduces exactly
+// the phase labels of the analytic simulator (package sim).
+func PhasesOf(ops []Op) []Phase {
+	firstBwd, lastFwd := len(ops), -1
+	for i, op := range ops {
+		if op.Kind == Bwd && firstBwd == len(ops) {
+			firstBwd = i
+		}
+		if op.Kind == Fwd {
+			lastFwd = i
+		}
+	}
+	steadyStart := firstBwd
+	for steadyStart > 0 && ops[steadyStart-1].Kind == Fwd && ops[steadyStart-1].Micro == ops[firstBwd-1].Micro {
+		steadyStart--
+	}
+	steadyEnd := lastFwd
+	if lastFwd+1 < len(ops) && ops[lastFwd+1].Kind == Bwd {
+		steadyEnd = lastFwd + 1
+	}
+	out := make([]Phase, len(ops))
+	for i := range ops {
+		switch {
+		case i < steadyStart:
+			out[i] = Warmup
+		case i > steadyEnd:
+			out[i] = Cooldown
+		default:
+			out[i] = Steady
+		}
+	}
+	return out
+}
+
+// Phases classifies every op of the schedule, per device, via PhasesOf.
+func (s *Schedule) Phases() [][]Phase {
+	out := make([][]Phase, len(s.Ops))
+	for d, ops := range s.Ops {
+		out[d] = PhasesOf(ops)
+	}
+	return out
+}
+
 func identity(p int) []int {
 	m := make([]int, p)
 	for i := range m {

@@ -234,3 +234,55 @@ func TestOpString(t *testing.T) {
 		t.Errorf("Op.String() = %q", s)
 	}
 }
+
+func TestPhasesOf(t *testing.T) {
+	// 1F1B device 0 of a 4-deep pipeline: 3 warmup forwards, then blocks.
+	s, err := OneFOneB(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := s.Phases()
+	// Device 0: F0 F1 F2 | F3 B0 F4 B1 F5 B2 | B3 B4 B5.
+	want0 := []Phase{Warmup, Warmup, Warmup, Steady, Steady, Steady, Steady, Steady, Steady, Cooldown, Cooldown, Cooldown}
+	for i, ph := range phases[0] {
+		if ph != want0[i] {
+			t.Fatalf("1F1B dev 0 op %d (%v): phase %v, want %v", i, s.Ops[0][i], ph, want0[i])
+		}
+	}
+	// Last device alternates from the start: no warmup, no cooldown.
+	for i, ph := range phases[3] {
+		if ph != Steady {
+			t.Errorf("1F1B dev 3 op %d: phase %v, want steady", i, ph)
+		}
+	}
+
+	// GPipe: all forwards warmup except the last block pair; trailing
+	// backwards are cooldown.
+	g, err := GPipe(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := g.Phases()[0]
+	want := []Phase{Warmup, Warmup, Warmup, Steady, Steady, Cooldown, Cooldown, Cooldown}
+	for i, ph := range gp {
+		if ph != want[i] {
+			t.Errorf("GPipe op %d (%v): phase %v, want %v", i, g.Ops[0][i], ph, want[i])
+		}
+	}
+
+	// Sliced: both halves of the forward paired with the first backward
+	// enter Steady together.
+	sl, err := Sliced(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, ph := sl.Ops[0], sl.Phases()[0]
+	for i, op := range ops {
+		if op.Kind == Bwd {
+			if ph[i-1] != Steady || ph[i-2] != Steady {
+				t.Errorf("sliced: halves before first backward are %v/%v, want steady", ph[i-2], ph[i-1])
+			}
+			break
+		}
+	}
+}

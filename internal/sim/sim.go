@@ -311,6 +311,43 @@ func masterStage(r *Result) int {
 	return best
 }
 
+// PhaseWindows returns, per stage, the wall-clock boundaries
+// [warmup-end, steady-end] of the analytic timeline: the start of the
+// stage's first 1F1B-phase op and the end of its last. A stage with an empty
+// 1F1B phase (m < n) collapses the steady window at the start of its first
+// Cooldown op. The executor consumes these windows
+// (exec.Result.MetricsWithWindows) to attribute measured bubbles on the same
+// phase boundaries the planner reasoned about — the analytic counterpart of
+// the paper's Fig. 5 phase split.
+func (r *Result) PhaseWindows() [][2]float64 {
+	out := make([][2]float64, len(r.Ops))
+	for x, ops := range r.Ops {
+		t1, t2 := r.IterTime, r.IterTime
+		var firstSteady, lastSteady, firstCool *Op
+		for _, op := range ops {
+			switch op.Phase {
+			case OneFOneB:
+				if firstSteady == nil {
+					firstSteady = op
+				}
+				lastSteady = op
+			case Cooldown:
+				if firstCool == nil {
+					firstCool = op
+				}
+			}
+		}
+		switch {
+		case firstSteady != nil:
+			t1, t2 = firstSteady.Start, lastSteady.End
+		case firstCool != nil:
+			t1, t2 = firstCool.Start, firstCool.Start
+		}
+		out[x] = [2]float64{t1, t2}
+	}
+	return out
+}
+
 // WarmupEstimate returns the paper's closed-form Warmup overhead estimate:
 // the total forward time of one micro-batch plus the cross-stage hops.
 func WarmupEstimate(f []float64, comm float64) float64 {

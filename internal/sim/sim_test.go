@@ -261,3 +261,33 @@ func TestSimulateBubbleNonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPhaseWindows(t *testing.T) {
+	f := []float64{1, 1.5, 1.2, 0.8}
+	b := []float64{2, 3, 2.4, 1.6}
+	r, err := Simulate(f, b, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := r.PhaseWindows()
+	if len(windows) != len(f) {
+		t.Fatalf("%d windows for %d stages", len(windows), len(f))
+	}
+	for x, w := range windows {
+		if !(0 <= w[0] && w[0] <= w[1] && w[1] <= r.IterTime) {
+			t.Errorf("stage %d: window %v not ordered within makespan %g", x, w, r.IterTime)
+		}
+		// The window must bracket exactly the stage's 1F1B-phase ops.
+		for _, op := range r.Ops[x] {
+			in := op.Start >= w[0]-1e-12 && op.End <= w[1]+1e-12
+			if (op.Phase == OneFOneB) != in {
+				t.Errorf("stage %d op %v%d phase %v vs window %v [%g,%g]", x, op.Kind, op.Micro, op.Phase, w, op.Start, op.End)
+			}
+		}
+	}
+	// The last stage has no warmup ops: its warmup window is exactly the
+	// startup overhead.
+	if last := windows[len(windows)-1]; last[0] != r.Startup {
+		t.Errorf("last stage warmup window ends at %g, want startup %g", last[0], r.Startup)
+	}
+}

@@ -23,6 +23,11 @@ type Plan struct {
 	// Stages and Micro record the geometry the plan was solved for.
 	Stages int
 	Micro  int
+	// Rounds counts the Algorithm 2 while-loop iterations taken, and
+	// Converged reports whether the no-stall condition was met (false means
+	// every warmup micro-batch got split and the search exhausted itself).
+	Rounds    int
+	Converged bool
 }
 
 // Solve runs Algorithm 2 on per-stage forward times f, backward times b and
@@ -44,7 +49,7 @@ func Solve(f, b []float64, comm float64, m int) (Plan, error) {
 	}
 	if p == 1 {
 		// A single stage has no startup overhead to hide.
-		return Plan{NumSliced: 0, Stages: p, Micro: m}, nil
+		return Plan{NumSliced: 0, Stages: p, Micro: m, Converged: true}, nil
 	}
 
 	// startt[k]: start time of the first 1F1B forward for stage p-1-k,
@@ -72,7 +77,9 @@ func Solve(f, b []float64, comm float64, m int) (Plan, error) {
 	endt := make([][2]float64, p+1)
 
 	mb := 1
+	rounds := 0
 	for mb < p && mb < m {
+		rounds++
 		for i := 0; i <= p-mb; i++ {
 			for j := 0; j <= 1; j++ {
 				// The half follows its sibling on the same stage...
@@ -110,13 +117,13 @@ func Solve(f, b []float64, comm float64, m int) (Plan, error) {
 		}
 		tempt -= f[0]
 		if tempt >= endt[0][1] {
-			return Plan{NumSliced: mb, Stages: p, Micro: m}, nil
+			return Plan{NumSliced: mb, Stages: p, Micro: m, Rounds: rounds, Converged: true}, nil
 		}
 		mb++
 	}
 	// Every warmup micro-batch is already split; slicing further is
 	// inoperative for startup reduction (paper §III-C).
-	return Plan{NumSliced: mb, Stages: p, Micro: m}, nil
+	return Plan{NumSliced: mb, Stages: p, Micro: m, Rounds: rounds}, nil
 }
 
 // SolveUniform is a convenience wrapper for a uniform pipeline.

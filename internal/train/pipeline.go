@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"autopipe/internal/nn"
+	"autopipe/internal/obs"
 	"autopipe/internal/schedule"
 	"autopipe/internal/tensor"
 )
@@ -19,6 +20,10 @@ import (
 type Pipeline struct {
 	Bounds []int
 	Stages [][]nn.Module
+	// Obs, when set, receives per-step training telemetry: a "train.step"
+	// span, step/micro-batch/op counters, and the latest scaled loss as a
+	// gauge. The registry is safe for the concurrent stage goroutines.
+	Obs *obs.Registry
 }
 
 // NewPipeline cuts mods at bounds (len = stages+1, spanning the module
@@ -84,6 +89,10 @@ func (p *Pipeline) Step(micros []Batch, numSliced int, scale float64) (float64, 
 	if err != nil {
 		return 0, err
 	}
+	var span *obs.Span
+	if p.Obs != nil {
+		span = p.Obs.StartSpan("train.step")
+	}
 
 	// Channels are buffered to the full op count so sends never block;
 	// ordering correctness is asserted on receive. A failing stage closes
@@ -121,15 +130,28 @@ func (p *Pipeline) Step(micros []Batch, numSliced int, scale float64) (float64, 
 	if firstErr != nil {
 		return 0, firstErr
 	}
+	var loss float64
 	if nStages == 1 {
-		return <-lossCh, nil
+		loss = <-lossCh
+	} else {
+		select {
+		case loss = <-lossCh:
+		default:
+			return 0, fmt.Errorf("train: last stage produced no loss")
+		}
 	}
-	select {
-	case loss := <-lossCh:
-		return loss, nil
-	default:
-		return 0, fmt.Errorf("train: last stage produced no loss")
+	if p.Obs != nil {
+		span.End()
+		p.Obs.Counter("train.steps").Inc()
+		p.Obs.Counter("train.micros").Add(float64(m))
+		ops := 0
+		for _, stage := range sched.Ops {
+			ops += len(stage)
+		}
+		p.Obs.Counter("train.ops").Add(float64(ops))
+		p.Obs.Gauge("train.loss").Set(loss)
 	}
+	return loss, nil
 }
 
 // errPipelineAborted marks a stage unblocked by a peer's failure; the peer's

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"autopipe/internal/nn"
+	"autopipe/internal/obs"
 	"autopipe/internal/tensor"
 )
 
@@ -262,5 +263,42 @@ func TestCheckpointedPipelineMatchesSerial(t *testing.T) {
 	name, diff := maxGradDiff(want, cloneGrads(pipe.AllParams()))
 	if diff > 1e-9 {
 		t.Errorf("gradient mismatch %g at %s", diff, name)
+	}
+}
+
+// TestPipelineObs: a pipeline with an obs registry attached records the step
+// span, op/micro counters, and the loss gauge.
+func TestPipelineObs(t *testing.T) {
+	cfg := nn.TinyGPT()
+	m, batch := 4, 4
+	scale := 1.0 / float64(m*batch*(cfg.MaxSeq-2))
+	micros := tinyMicros(t, cfg, m, batch, 7)
+
+	pipe, err := NewPipeline(nn.BuildGPT(cfg), []int{0, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Obs = obs.NewRegistry()
+	loss, err := pipe.Step(micros, 1, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := pipe.Obs.Snapshot()
+	if got := snap.Counters["train.steps"]; got != 1 {
+		t.Errorf("train.steps = %g, want 1", got)
+	}
+	if got := snap.Counters["train.micros"]; got != float64(m) {
+		t.Errorf("train.micros = %g, want %d", got, m)
+	}
+	// 2 stages x (m + numSliced extra forward halves) forwards + m backwards.
+	wantOps := float64(2 * (2*m + 1))
+	if got := snap.Counters["train.ops"]; got != wantOps {
+		t.Errorf("train.ops = %g, want %g", got, wantOps)
+	}
+	if got := snap.Gauges["train.loss"]; got != loss {
+		t.Errorf("train.loss gauge = %g, want %g", got, loss)
+	}
+	if st := snap.Histograms["train.step.seconds"]; st.Count != 1 {
+		t.Errorf("train.step.seconds count = %d, want 1", st.Count)
 	}
 }

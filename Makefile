@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check tier1 verify clean
+.PHONY: all build test vet race race-core bench-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -19,6 +19,17 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# race-core runs the planner engine and plan evaluator under the race
+# detector at full depth — the packages where the parallel search's worker
+# pool and simulation cache live.
+race-core:
+	$(GO) test -race ./internal/core/... ./internal/plan/...
+
+# bench-smoke compiles and runs every planner benchmark exactly once
+# (correctness smoke, not a measurement); the -run filter skips the tests.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Plan -benchtime=1x ./...
+
 # fmt-check fails (with the offending files listed) if anything is not
 # gofmt-clean.
 fmt-check:
@@ -31,8 +42,9 @@ fmt-check:
 tier1: build test
 
 # verify runs everything CI would: formatting, static analysis, the full
-# test suite under the race detector, and the tier-1 gate.
-verify: fmt-check vet tier1 race
+# test suite under the race detector, the deep race pass over the planner
+# engine, a one-shot benchmark smoke, and the tier-1 gate.
+verify: fmt-check vet tier1 race race-core bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -78,6 +78,10 @@ func DefaultCluster() Cluster { return config.DefaultCluster() }
 // and a balanced sub-layer partition, and the Slicer solves the warmup
 // micro-batch slicing. The returned Blocks is the block array the plan's
 // partition indexes (needed by Evaluate).
+//
+// Deprecated: use NewPlanner().Plan, which adds cancellation, parallel
+// candidate evaluation, and search options. Plan is equivalent to
+// NewPlanner(WithParallelism(1)).Plan(context.Background(), ...).
 func Plan(m Model, run Run, cluster Cluster) (*Spec, *Blocks, error) {
 	return core.PlanCluster(m, run, cluster)
 }
@@ -85,6 +89,9 @@ func Plan(m Model, run Run, cluster Cluster) (*Spec, *Blocks, error) {
 // PlanDepth runs the heuristic partition search at a fixed pipeline depth
 // with m micro-batches per iteration, returning the planner's best candidate
 // together with its simulation.
+//
+// Deprecated: use NewPlanner().PlanDepth, which adds cancellation, parallel
+// candidate evaluation, and search options.
 func PlanDepth(bl *Blocks, depth, micro int) (*core.PlanResult, error) {
 	return core.PlanDepth(bl, depth, micro)
 }
@@ -98,14 +105,18 @@ func Build(m Model, microBatch int, cluster Cluster) (*Blocks, error) {
 
 // Simulate runs the paper's analytic pipeline simulator on explicit
 // per-stage forward/backward times.
+//
+// Deprecated: use SimulateProfile with a StageProfile value.
 func Simulate(f, b []float64, comm float64, micro int) (*SimResult, error) {
-	return sim.Simulate(f, b, comm, micro)
+	return sim.SimulateProfile(StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: micro})
 }
 
 // Slice solves Algorithm 2: the number of leading micro-batches whose
 // forwards should be split in half to hide the pipeline startup overhead.
+//
+// Deprecated: use SliceProfile with a StageProfile value.
 func Slice(f, b []float64, comm float64, micro int) (SlicePlan, error) {
-	return slicer.Solve(f, b, comm, micro)
+	return slicer.SolveProfile(StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: micro})
 }
 
 // Evaluate executes a plan for one training iteration on the discrete-event

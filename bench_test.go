@@ -6,6 +6,9 @@
 package autopipe_test
 
 import (
+	"context"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"autopipe"
@@ -217,5 +220,44 @@ func BenchmarkPlannerGPT2_345M(b *testing.B) {
 		if _, _, err := autopipe.Plan(config.GPT2_345M(), run, cluster); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanParallel measures the parallel plan-space search engine on
+// the heaviest zoo configuration (GPT-2 1.3B across 16 GPUs at a large
+// global batch, where the depth-16 search with 256 micro-batches dominates).
+// The sub-benchmarks share one workload; the parent verifies — outside the
+// timed region — that the sequential and parallel engines return identical
+// Specs, the engine's core contract. The wall-clock ratio between the
+// parallelism=1 and parallelism=8 lines is the engine's speedup; it needs
+// spare CPU cores to materialize (on a single-core host the engine disables
+// speculation and the lines should simply stay close).
+func BenchmarkPlanParallel(b *testing.B) {
+	model := config.GPT2_1_3B()
+	cluster := config.DefaultCluster()
+	run := config.Run{MicroBatch: 16, GlobalBatch: 4096, Checkpoint: true}
+
+	planWith := func(workers int) *autopipe.Spec {
+		p := autopipe.NewPlanner(autopipe.WithParallelism(workers))
+		spec, _, err := p.Plan(context.Background(), model, run, cluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return spec
+	}
+
+	seq, par := planWith(1), planWith(8)
+	seq.SearchTime, par.SearchTime = 0, 0
+	if !reflect.DeepEqual(seq, par) {
+		b.Fatalf("parallel plan differs from sequential:\n%+v\nvs\n%+v", par, seq)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				planWith(workers)
+			}
+		})
 	}
 }

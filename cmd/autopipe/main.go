@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	autopipe -model gpt2-345m -gpus 4 -mbs 4 -gbs 128 [-json plan.json]
+//	autopipe -model gpt2-345m -gpus 4 -mbs 4 -gbs 128 \
+//	         [-parallelism N] [-timeout 30s] [-json plan.json]
 package main
 
 import (
@@ -14,9 +15,10 @@ import (
 	"fmt"
 	"os"
 
+	"autopipe"
 	"autopipe/internal/baselines/megatron"
+	"autopipe/internal/cliutil"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/memory"
 	"autopipe/internal/plan"
 )
@@ -27,6 +29,7 @@ func main() {
 	mbs := flag.Int("mbs", 4, "micro-batch size")
 	gbs := flag.Int("gbs", 128, "global batch size")
 	jsonPath := flag.String("json", "", "write the plan as JSON to this path")
+	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	flag.Parse()
 
 	mc, err := config.ModelByName(*modelName)
@@ -37,7 +40,9 @@ func main() {
 	cluster.NumGPUs = *gpus
 	run := config.Run{MicroBatch: *mbs, GlobalBatch: *gbs, Checkpoint: true}
 
-	spec, bl, err := core.PlanCluster(mc, run, cluster)
+	ctx, cancel := pf.Context()
+	defer cancel()
+	spec, bl, err := autopipe.NewPlanner(pf.PlannerOptions()...).Plan(ctx, mc, run, cluster)
 	if err != nil {
 		fail(err)
 	}

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b] [-csv dir]
+//	experiments [-exp all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b] \
+//	            [-parallelism N] [-timeout 10m] [-csv dir]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"autopipe/internal/cliutil"
 	"autopipe/internal/experiments"
 	"autopipe/internal/tableio"
 )
@@ -20,9 +22,14 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run (comma-separated), or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
+	env.Search = pf.Options()
+	ctx, cancel := pf.Context()
+	defer cancel()
+	env.Ctx = ctx
 	runners := map[string]func() (*tableio.Table, error){
 		"table1": func() (*tableio.Table, error) { return env.Table1() },
 		"table2": func() (*tableio.Table, error) { return env.Table2() },

@@ -6,6 +6,7 @@
 //
 //	pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 \
 //	        [-schedule 1f1b|gpipe|sliced|interleaved] [-sliced N] [-gantt] \
+//	        [-parallelism N] [-timeout 30s] \
 //	        [-metrics report.json] [-trace trace.json]
 package main
 
@@ -15,9 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"autopipe"
 	"autopipe/internal/baselines/megatron"
+	"autopipe/internal/cliutil"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/cost"
 	"autopipe/internal/exec"
 	"autopipe/internal/memory"
@@ -57,6 +59,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) to this path")
 	critical := flag.Bool("critical", false, "print the executed critical path")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics report (bubbles, utilization, links, memory) to this path")
+	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	flag.Parse()
 
 	mc, err := config.ModelByName(*modelName)
@@ -74,8 +77,10 @@ func main() {
 	if *even {
 		part, err = megatron.EvenPartition(bl, *stages)
 	} else {
-		var pr *core.PlanResult
-		pr, err = core.PlanDepth(bl, *stages, *micro)
+		ctx, cancel := pf.Context()
+		var pr *autopipe.PlanResult
+		pr, err = autopipe.NewPlanner(pf.PlannerOptions()...).PlanDepth(ctx, bl, *stages, *micro)
+		cancel()
 		if err == nil {
 			part = pr.Best.Partition
 		}

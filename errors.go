@@ -1,0 +1,22 @@
+package autopipe
+
+import "autopipe/internal/errdefs"
+
+// Sentinel errors returned (wrapped) by the planning and evaluation APIs.
+// Match them with errors.Is:
+//
+//	if _, _, err := planner.Plan(ctx, model, run, cluster); errors.Is(err, autopipe.ErrInfeasible) {
+//	    // no partition of this model fits device memory at this micro-batch
+//	}
+var (
+	// ErrBadConfig marks a structurally invalid model, run, or cluster
+	// configuration — non-positive micro-batch, a global batch the
+	// micro-batch does not divide, heads not dividing hidden, and so on.
+	ErrBadConfig = errdefs.ErrBadConfig
+	// ErrInfeasible marks a planning problem with no feasible answer: no
+	// pipeline depth yields a partition that fits device memory.
+	ErrInfeasible = errdefs.ErrInfeasible
+	// ErrOOM marks an evaluated plan that exceeded device memory on the
+	// discrete-event executor (EvalResult.Failure wraps it).
+	ErrOOM = errdefs.ErrOOM
+)

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"autopipe"
 )
@@ -18,8 +20,13 @@ func main() {
 	run := autopipe.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
 
 	// The Planner picks the pipeline depth and a balanced sub-layer
-	// partition; the Slicer sizes the warmup micro-batch slicing.
-	spec, blocks, err := autopipe.Plan(model, run, cluster)
+	// partition; the Slicer sizes the warmup micro-batch slicing. The search
+	// fans out over a worker pool, but the resulting plan is deterministic —
+	// any parallelism level returns the same Spec.
+	planner := autopipe.NewPlanner(autopipe.WithParallelism(4))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	spec, blocks, err := planner.Plan(ctx, model, run, cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +40,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Err != "" {
-		log.Fatalf("plan infeasible: %s", res.Err)
+	if failure := res.Failure(); failure != nil {
+		log.Fatalf("plan infeasible: %v", failure)
 	}
 	fmt.Printf("\niteration: %.1f ms  (startup %.1f ms, all-reduce %.1f ms, %d micro-batches)\n",
 		res.IterTime*1e3, res.Startup*1e3, res.AllReduce*1e3, res.Micro)
@@ -42,8 +49,7 @@ func main() {
 	// The analytic simulator the Planner searches with agrees with the
 	// executed result up to launch overheads (paper Fig. 11).
 	if spec.Depth() > 1 {
-		f, b := spec.Partition.StageTimes(blocks)
-		sr, err := autopipe.Simulate(f, b, blocks.Comm, res.Micro)
+		sr, err := autopipe.SimulateProfile(autopipe.Profile(spec.Partition, blocks, res.Micro))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,53 @@
+// Package cliutil provides the planner flag handling shared by the
+// repository's commands: autopipe, pipesim, and experiments all accept the
+// same -parallelism and -timeout flags, resolved here into a planning
+// context and engine options.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"autopipe"
+	"autopipe/internal/core"
+)
+
+// PlannerFlags holds the parsed values of the shared planner flags.
+type PlannerFlags struct {
+	// Parallelism is the planner worker-pool size; 0 means one per CPU. It
+	// affects planning speed only — plans are identical at every setting.
+	Parallelism int
+	// Timeout bounds the whole planning run; 0 means no limit.
+	Timeout time.Duration
+}
+
+// RegisterPlanner installs the shared planner flags on fs (before
+// fs.Parse). Pass flag.CommandLine for the process-wide set.
+func RegisterPlanner(fs *flag.FlagSet) *PlannerFlags {
+	pf := &PlannerFlags{}
+	fs.IntVar(&pf.Parallelism, "parallelism", 0, "planner search workers (0 = one per CPU); any value yields the same plan")
+	fs.DurationVar(&pf.Timeout, "timeout", 0, "abort planning after this duration, e.g. 30s (0 = no limit)")
+	return pf
+}
+
+// Context returns the planning context implied by -timeout. Always call the
+// cancel function when planning finishes.
+func (pf *PlannerFlags) Context() (context.Context, context.CancelFunc) {
+	if pf.Timeout > 0 {
+		return context.WithTimeout(context.Background(), pf.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Options returns the engine options implied by the flags, for callers on
+// the internal core API (e.g. experiments.Env.Search).
+func (pf *PlannerFlags) Options() core.Options {
+	return core.Options{Parallelism: pf.Parallelism}
+}
+
+// PlannerOptions returns the public functional options implied by the flags,
+// for callers constructing an autopipe.Planner.
+func (pf *PlannerFlags) PlannerOptions() []autopipe.PlannerOption {
+	return []autopipe.PlannerOption{autopipe.WithParallelism(pf.Parallelism)}
+}

@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"autopipe/internal/errdefs"
 )
 
 // Model describes a transformer-based benchmark model (paper Table I).
@@ -37,20 +39,21 @@ type Model struct {
 }
 
 // Validate reports the first structural problem with the model config.
+// Errors wrap errdefs.ErrBadConfig.
 func (m *Model) Validate() error {
 	switch {
 	case m.Layers <= 0:
-		return fmt.Errorf("config: model %q: layers must be positive, got %d", m.Name, m.Layers)
+		return fmt.Errorf("%w: model %q: layers must be positive, got %d", errdefs.ErrBadConfig, m.Name, m.Layers)
 	case m.Hidden <= 0:
-		return fmt.Errorf("config: model %q: hidden must be positive, got %d", m.Name, m.Hidden)
+		return fmt.Errorf("%w: model %q: hidden must be positive, got %d", errdefs.ErrBadConfig, m.Name, m.Hidden)
 	case m.Heads <= 0 || m.Hidden%m.Heads != 0:
-		return fmt.Errorf("config: model %q: heads must divide hidden (%d heads, %d hidden)", m.Name, m.Heads, m.Hidden)
+		return fmt.Errorf("%w: model %q: heads must divide hidden (%d heads, %d hidden)", errdefs.ErrBadConfig, m.Name, m.Heads, m.Hidden)
 	case m.FFNMult <= 0:
-		return fmt.Errorf("config: model %q: ffn_mult must be positive, got %d", m.Name, m.FFNMult)
+		return fmt.Errorf("%w: model %q: ffn_mult must be positive, got %d", errdefs.ErrBadConfig, m.Name, m.FFNMult)
 	case m.SeqLen <= 0:
-		return fmt.Errorf("config: model %q: seq_len must be positive, got %d", m.Name, m.SeqLen)
+		return fmt.Errorf("%w: model %q: seq_len must be positive, got %d", errdefs.ErrBadConfig, m.Name, m.SeqLen)
 	case m.Vocab <= 0:
-		return fmt.Errorf("config: model %q: vocab must be positive, got %d", m.Name, m.Vocab)
+		return fmt.Errorf("%w: model %q: vocab must be positive, got %d", errdefs.ErrBadConfig, m.Name, m.Vocab)
 	}
 	return nil
 }
@@ -122,16 +125,24 @@ func (r Run) MicroBatches(dataParallel int) int {
 	return m
 }
 
-// Validate reports the first structural problem with the run config.
+// Validate reports the first structural problem with the run config: a
+// non-positive micro-batch, a negative global batch, a missing batch spec, or
+// a global batch the micro-batch does not divide. Errors wrap
+// errdefs.ErrBadConfig, so planners reject invalid runs up front instead of
+// failing deep inside the partitioner.
 func (r Run) Validate() error {
 	if r.MicroBatch <= 0 {
-		return fmt.Errorf("config: run: micro_batch must be positive, got %d", r.MicroBatch)
+		return fmt.Errorf("%w: run: micro_batch must be positive, got %d", errdefs.ErrBadConfig, r.MicroBatch)
+	}
+	if r.GlobalBatch < 0 {
+		return fmt.Errorf("%w: run: global_batch must be non-negative, got %d", errdefs.ErrBadConfig, r.GlobalBatch)
 	}
 	if r.GlobalBatch == 0 && r.NumMicro <= 0 {
-		return fmt.Errorf("config: run: need global_batch or num_micro")
+		return fmt.Errorf("%w: run: need global_batch or num_micro", errdefs.ErrBadConfig)
 	}
 	if r.GlobalBatch != 0 && r.GlobalBatch%r.MicroBatch != 0 {
-		return fmt.Errorf("config: run: global_batch %d not divisible by micro_batch %d", r.GlobalBatch, r.MicroBatch)
+		return fmt.Errorf("%w: run: global_batch %d not divisible by micro_batch %d",
+			errdefs.ErrBadConfig, r.GlobalBatch, r.MicroBatch)
 	}
 	return nil
 }

@@ -1,110 +1,20 @@
 package core
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"autopipe/internal/config"
-	"autopipe/internal/cost"
-	"autopipe/internal/memory"
 	"autopipe/internal/model"
 	"autopipe/internal/plan"
-	"autopipe/internal/slicer"
 )
 
 // PlanCluster runs the full AutoPipe pipeline planner for a model on a
-// cluster: it considers every pipeline depth that divides the GPU count
-// (AutoPipe keeps the data-parallel size uniform across stages — one of the
-// reasons its search is an order of magnitude faster than Piper's, §IV-D),
-// runs the heuristic partition search at each feasible depth, estimates
-// iteration time with the analytic simulator plus the gradient all-reduce,
-// and finally sizes the micro-batch slicing with Algorithm 2.
+// cluster.
+//
+// Deprecated: use PlanClusterOpts, which adds cancellation, parallel
+// candidate evaluation, and engine options. PlanCluster is equivalent to
+// calling PlanClusterOpts with context.Background() and a single-worker
+// Options.
 func PlanCluster(mc config.Model, run config.Run, cluster config.Cluster) (*plan.Spec, *model.Blocks, error) {
-	if err := run.Validate(); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	geom := cost.Geometry{MicroBatch: run.MicroBatch, Checkpoint: run.Checkpoint}
-	bl, err := model.Build(mc, geom, cluster.Device, cluster.Network, model.SubLayer)
-	if err != nil {
-		return nil, nil, err
-	}
-	g := cluster.NumGPUs
-	if g <= 0 {
-		return nil, nil, fmt.Errorf("core: cluster has no GPUs")
-	}
-
-	var (
-		bestSpec  *plan.Spec
-		bestScore float64
-		evaluated int
-		accepted  int
-	)
-	for p := 1; p <= g && p <= bl.Len(); p++ {
-		if g%p != 0 {
-			continue
-		}
-		dp := g / p
-		m := run.MicroBatches(dp)
-		res, err := PlanDepth(bl, p, m)
-		if err != nil {
-			continue
-		}
-		evaluated += res.Evaluated
-		accepted += res.Telemetry.Accepted
-		// Exact memory feasibility (AutoPipe plans with the real budget; no
-		// conservative margin is needed because the partitioner's load
-		// balance keeps estimates tight).
-		if ok, _ := memory.Fits(bl, res.Best.Partition, m, memory.OneFOneB, 1, cluster.Device); !ok {
-			continue
-		}
-		// Score: simulated iteration time plus the slowest stage's gradient
-		// all-reduce across the dp replicas.
-		score := res.Best.Sim.IterTime
-		var ar float64
-		for _, params := range res.Best.Partition.StageParams(bl) {
-			if t := cost.AllReduceTime(params*4, dp, cluster.Network); t > ar {
-				ar = t
-			}
-		}
-		score += ar
-		if bestSpec == nil || score < bestScore {
-			devs := make([]int, p)
-			for i := range devs {
-				devs[i] = dp
-			}
-			bestSpec = &plan.Spec{
-				Planner:      "AutoPipe",
-				Partition:    res.Best.Partition,
-				StageDevices: devs,
-			}
-			bestScore = score
-		}
-	}
-	if bestSpec == nil {
-		return nil, nil, fmt.Errorf("core: no memory-feasible pipeline plan for %s on %d GPUs at micro-batch %d",
-			mc.Name, g, run.MicroBatch)
-	}
-
-	// Size the warmup micro-batch slicing for the chosen partition.
-	if bestSpec.Depth() > 1 {
-		f, b := bestSpec.Partition.StageTimes(bl)
-		m := run.MicroBatches(bestSpec.DataParallel())
-		sp, err := slicer.Solve(f, b, bl.Comm, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		bestSpec.NumSliced = sp.NumSliced
-		bestSpec.SliceRounds = sp.Rounds
-		bestSpec.SliceConverged = sp.Converged
-	} else {
-		// A single stage has nothing to slice; Algorithm 2 is trivially done.
-		bestSpec.SliceConverged = true
-	}
-
-	bestSpec.SearchTime = time.Since(start)
-	bestSpec.Evaluated = evaluated
-	bestSpec.Accepted = accepted
-	bestSpec.Predicted = bestScore
-	return bestSpec, bl, nil
+	return PlanClusterOpts(context.Background(), mc, run, cluster, Options{Parallelism: 1})
 }

@@ -6,7 +6,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"autopipe/internal/model"
@@ -77,124 +77,18 @@ type PlanResult struct {
 
 // PlanDepth searches for a balanced partition of bl into p stages for
 // iterations of m micro-batches.
+//
+// Deprecated: use PlanDepthOpts, which adds cancellation, parallel candidate
+// evaluation, and engine options. PlanDepth is equivalent to calling
+// PlanDepthOpts with context.Background() and a single-worker Options.
 func PlanDepth(bl *model.Blocks, p, m int) (*PlanResult, error) {
-	if p == 1 {
-		// A single stage has no pipeline structure; simulate directly.
-		start := time.Now()
-		part, err := partition.New([]int{0, bl.Len()}, bl.Len())
-		if err != nil {
-			return nil, err
-		}
-		c, err := evaluate(bl, part, m)
-		if err != nil {
-			return nil, err
-		}
-		tel := Telemetry{
-			Candidates:  1,
-			Accepted:    1,
-			Convergence: []float64{c.Sim.IterTime},
-			Final:       c.Sim.IterTime,
-			SeedTime:    time.Since(start),
-		}
-		return &PlanResult{Best: c, Seed: c, Evaluated: 1, Telemetry: tel}, nil
-	}
-
-	seedStart := time.Now()
-	weights := bl.Weights()
-	seedPart, err := partition.Balance(weights, p)
-	if err != nil {
-		return nil, fmt.Errorf("core: seeding depth %d: %w", p, err)
-	}
-	res := &PlanResult{}
-	seed, err := evaluate(bl, seedPart, m)
-	if err != nil {
-		return nil, err
-	}
-	res.Seed = seed
-	res.Best = seed
-	res.Telemetry = Telemetry{
-		Candidates:  1,
-		Accepted:    1,
-		Convergence: []float64{seed.Sim.IterTime},
-		SeedTime:    time.Since(seedStart),
-	}
-
-	visited := map[string]bool{seedPart.Key(): true}
-	queue := []Candidate{seed}
-
-	push := func(part partition.Partition) (Candidate, bool, error) {
-		key := part.Key()
-		if visited[key] {
-			return Candidate{}, false, nil
-		}
-		visited[key] = true
-		c, err := evaluate(bl, part, m)
-		if err != nil {
-			return Candidate{}, false, err
-		}
-		res.Telemetry.Candidates++
-		if c.Sim.IterTime < res.Best.Sim.IterTime {
-			res.Best = c
-			res.Telemetry.Accepted++
-		}
-		res.Telemetry.Convergence = append(res.Telemetry.Convergence, res.Best.Sim.IterTime)
-		return c, true, nil
-	}
-
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		i := cur.Sim.Master
-
-		// Step 2: eliminate Cooldown bubbles after the master stage by
-		// redistributing the suffix so that Eq. (1) holds.
-		adjustStart := time.Now()
-		if adj, changed := adjustAfterMaster(bl, cur.Partition, i); changed {
-			c, fresh, err := push(adj)
-			if err != nil {
-				return nil, err
-			}
-			if fresh {
-				if c.Sim.Master != i {
-					// Master changed during adjustment: continue from the
-					// adjusted scheme (paper: "stop the adjustment and go
-					// to 3 with the adjusted partition scheme").
-					cur = c
-					i = c.Sim.Master
-				} else {
-					cur = c
-				}
-			}
-		}
-		res.Telemetry.AdjustTime += time.Since(adjustStart)
-
-		// Step 3: the master stage cannot move before stage 0; stop here.
-		if i == 0 {
-			continue
-		}
-
-		moveStart := time.Now()
-		for _, next := range masterMoves(bl, cur.Partition, i, weights) {
-			c, fresh, err := push(next)
-			if err != nil {
-				return nil, err
-			}
-			// Only schemes whose master moved forward (≤ i) are refined
-			// further; a receding master means the move made things worse.
-			if fresh && c.Sim.Master <= i {
-				queue = append(queue, c)
-			}
-		}
-		res.Telemetry.MoveTime += time.Since(moveStart)
-	}
-	res.Evaluated = res.Telemetry.Candidates
-	res.Telemetry.Final = res.Best.Sim.IterTime
-	return res, nil
+	return PlanDepthOpts(context.Background(), bl, p, m, Options{Parallelism: 1})
 }
 
+// evaluate simulates one partition without the engine's cache; kept for
+// one-off evaluations (seed ablations, tests).
 func evaluate(bl *model.Blocks, part partition.Partition, m int) (Candidate, error) {
-	f, b := part.StageTimes(bl)
-	r, err := sim.Simulate(f, b, bl.Comm, m)
+	r, err := sim.SimulateProfile(part.Profile(bl, m))
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/cost"
 	"autopipe/internal/exec"
 	"autopipe/internal/model"
@@ -47,7 +46,7 @@ func (e Env) AblationGranularity() ([]GranularityPoint, *tableio.Table, error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				res, err := core.PlanDepth(bl, depth, 2*depth)
+				res, err := e.planDepth(bl, depth, 2*depth)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -97,7 +96,7 @@ func (e Env) AblationHeuristic() ([]HeuristicPoint, *tableio.Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			res, err := core.PlanDepth(bl, depth, 2*depth)
+			res, err := e.planDepth(bl, depth, 2*depth)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -136,7 +135,7 @@ func (e Env) AblationSlicingCount() ([]SlicingPoint, *tableio.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.PlanDepth(bl, depth, m)
+	res, err := e.planDepth(bl, depth, m)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -190,7 +189,7 @@ func (e Env) AblationSchedules() ([]SchedulePoint, *tableio.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.PlanDepth(bl, depth, m)
+	res, err := e.planDepth(bl, depth, m)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/baselines/megatron"
@@ -17,6 +18,7 @@ import (
 	"autopipe/internal/memory"
 	"autopipe/internal/model"
 	"autopipe/internal/partition"
+	"autopipe/internal/plan"
 	"autopipe/internal/schedule"
 	"autopipe/internal/slicer"
 )
@@ -27,11 +29,36 @@ type Env struct {
 	// Seed feeds the executor's deterministic jitter where an experiment
 	// models "actual" hardware runs (Fig. 11).
 	Seed uint64
+	// Ctx bounds every planning call; nil means context.Background().
+	Ctx context.Context
+	// Search configures the planner engine (parallelism, budget, telemetry)
+	// for every planning call. Engine results are independent of
+	// parallelism, so the tables come out identical at any setting.
+	Search core.Options
 }
 
 // DefaultEnv returns the paper's testbed: 16 RTX 3090s over 100 Gb/s IB.
 func DefaultEnv() Env {
 	return Env{Cluster: config.DefaultCluster(), Seed: 2022}
+}
+
+func (e Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+// planDepth runs the fixed-depth partition search with the env's engine
+// options.
+func (e Env) planDepth(bl *model.Blocks, p, m int) (*core.PlanResult, error) {
+	return core.PlanDepthOpts(e.ctx(), bl, p, m, e.Search)
+}
+
+// planCluster runs the full planner on an explicit cluster (experiments
+// sweep modified copies of e.Cluster) with the env's engine options.
+func (e Env) planCluster(mc config.Model, run config.Run, cl config.Cluster) (*plan.Spec, *model.Blocks, error) {
+	return core.PlanClusterOpts(e.ctx(), mc, run, cl, e.Search)
 }
 
 // buildSub lowers a model at sub-layer granularity for the env.
@@ -106,7 +133,7 @@ func (e Env) ComparePoint(mc config.Model, depth, mbs, m int) (map[string]Method
 	}
 	evenOOM := !fits(bl, even, m, e.Cluster.Device)
 
-	plannerRes, err := core.PlanDepth(bl, depth, m)
+	plannerRes, err := e.planDepth(bl, depth, m)
 	if err != nil {
 		return nil, err
 	}

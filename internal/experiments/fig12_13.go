@@ -7,7 +7,6 @@ import (
 	"autopipe/internal/baselines/dapple"
 	"autopipe/internal/baselines/piper"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/partition"
 	"autopipe/internal/plan"
 	"autopipe/internal/tableio"
@@ -48,7 +47,7 @@ func (e Env) Fig12() ([]Fig12Point, *tableio.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		as, _, err := core.PlanCluster(mc, run, e.Cluster)
+		as, _, err := e.planCluster(mc, run, e.Cluster)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -117,7 +116,7 @@ func (e Env) Fig13() ([]Fig13Point, *tableio.Table, error) {
 		pf, pb := plan.StageWallTimes(psp, pbl)
 		entries = append(entries, entry{"Piper", psp, pbl, stageStd(pf, pb), psp.Depth()})
 
-		asp, abl, err := core.PlanCluster(mc, run, cl)
+		asp, abl, err := e.planCluster(mc, run, cl)
 		if err != nil {
 			return nil, nil, err
 		}

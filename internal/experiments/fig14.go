@@ -5,7 +5,6 @@ import (
 
 	"autopipe/internal/baselines/megatron"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/exec"
 	"autopipe/internal/memory"
 	"autopipe/internal/schedule"
@@ -90,7 +89,7 @@ func (e Env) startupPoint(depth, mbs, m int) (StartupPoint, error) {
 	// Full AutoPipe: balanced partition with the sliced warmup. Balancing
 	// moves load toward earlier stages, so its startup sits slightly above
 	// the Slicer's (the effect the paper notes in §IV-E-2).
-	pr, err := core.PlanDepth(bl, depth, m)
+	pr, err := e.planDepth(bl, depth, m)
 	if err != nil {
 		return StartupPoint{}, err
 	}

@@ -5,7 +5,6 @@ import (
 
 	"autopipe/internal/baselines/megatron"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/exec"
 	"autopipe/internal/schedule"
 	"autopipe/internal/slicer"
@@ -73,7 +72,7 @@ func (e Env) AblationInterleaved() ([]InterleavedPoint, *tableio.Table, error) {
 		}
 		p.Interleaved = MethodResult{IterTime: ir.IterTime, Startup: ir.Startup}
 
-		pr, err := core.PlanDepth(bl, depth, m)
+		pr, err := e.planDepth(bl, depth, m)
 		if err != nil {
 			return nil, nil, err
 		}

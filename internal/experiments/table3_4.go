@@ -6,7 +6,6 @@ import (
 	"autopipe/internal/baselines/dapple"
 	"autopipe/internal/baselines/piper"
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/model"
 	"autopipe/internal/plan"
 	"autopipe/internal/tableio"
@@ -56,7 +55,7 @@ func (e Env) plannerComparison(mc config.Model, mbs int, gpus []int, gbs []int) 
 					// parallelism (see package piper).
 					spec, bl, err = piper.Plan(mc, run, cl, piper.Options{})
 				default:
-					spec, bl, err = core.PlanCluster(mc, run, cl)
+					spec, bl, err = e.planCluster(mc, run, cl)
 				}
 				if err != nil {
 					// AutoPipe refuses memory-infeasible configurations at

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"autopipe/internal/config"
-	"autopipe/internal/core"
 	"autopipe/internal/slicer"
 	"autopipe/internal/tableio"
 )
@@ -57,7 +56,7 @@ func (e Env) PlannerTelemetry() ([]TelemetryRecord, *tableio.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := core.PlanDepth(bl, c.depth, c.m)
+		res, err := e.planDepth(bl, c.depth, c.m)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: planning %s: %w", c.mc.Name, err)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"autopipe/internal/config"
 	"autopipe/internal/cost"
+	"autopipe/internal/errdefs"
 )
 
 // Block is one schedulable unit of the model with resolved wall times.
@@ -76,7 +77,7 @@ func Build(m config.Model, g cost.Geometry, dev config.Device, net config.Networ
 		return nil, err
 	}
 	if g.MicroBatch <= 0 {
-		return nil, fmt.Errorf("model: micro-batch must be positive, got %d", g.MicroBatch)
+		return nil, fmt.Errorf("%w: model: micro-batch must be positive, got %d", errdefs.ErrBadConfig, g.MicroBatch)
 	}
 	if g.SeqLen == 0 {
 		g.SeqLen = m.SeqLen

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"autopipe/internal/model"
+	"autopipe/internal/sim"
 )
 
 // Partition assigns a contiguous block range to each pipeline stage.
@@ -84,6 +85,14 @@ func (p Partition) StageTimes(bl *model.Blocks) (f, b []float64) {
 		}
 	}
 	return f, b
+}
+
+// Profile bundles the partition's stage times with the block array's
+// communication constant into the StageProfile consumed by the simulator,
+// the Slicer, and the planner engine.
+func (p Partition) Profile(bl *model.Blocks, micro int) sim.StageProfile {
+	f, b := p.StageTimes(bl)
+	return sim.StageProfile{Fwd: f, Bwd: b, Comm: bl.Comm, Micro: micro}
 }
 
 // StageWeights returns per-stage f+b compute weights.

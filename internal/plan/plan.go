@@ -7,10 +7,12 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"autopipe/internal/config"
 	"autopipe/internal/cost"
+	"autopipe/internal/errdefs"
 	"autopipe/internal/exec"
 	"autopipe/internal/memory"
 	"autopipe/internal/model"
@@ -103,13 +105,29 @@ type Result struct {
 	Err string
 }
 
+// Failure returns the evaluation outcome as a typed error: nil when the plan
+// ran, an error wrapping errdefs.ErrOOM when a stage exceeded device memory,
+// and one wrapping errdefs.ErrInfeasible for runtime errors. The Err string
+// stays verbatim (the experiment tables print it); Failure is the
+// errors.Is-friendly view of the same condition.
+func (r *Result) Failure() error {
+	switch {
+	case r.Err == "":
+		return nil
+	case strings.HasPrefix(r.Err, "OOM"):
+		return fmt.Errorf("%w: %s", errdefs.ErrOOM, r.Err)
+	default:
+		return fmt.Errorf("%w: %s", errdefs.ErrInfeasible, r.Err)
+	}
+}
+
 // Evaluate runs the plan for one training iteration of the given run config
 // on the executor and returns the iteration time, including the data-parallel
 // gradient all-reduce, with OOM and runtime-error detection.
 func Evaluate(s *Spec, bl *model.Blocks, run config.Run, cluster config.Cluster) (*Result, error) {
 	p := s.Depth()
 	if len(s.StageDevices) != p {
-		return nil, fmt.Errorf("plan: %d stages but %d device counts", p, len(s.StageDevices))
+		return nil, fmt.Errorf("%w: plan: %d stages but %d device counts", errdefs.ErrBadConfig, p, len(s.StageDevices))
 	}
 	res := &Result{Spec: s}
 

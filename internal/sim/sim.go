@@ -18,7 +18,50 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"autopipe/internal/errdefs"
 )
+
+// StageProfile is the value type every timing-level entry point consumes: the
+// per-stage forward and backward wall times of a partition, the cross-stage
+// communication constant, and the micro-batch count of one iteration. It
+// replaces the positional (f, b []float64, comm, micro) signature that used
+// to be duplicated across Simulate, the Slicer, and the planner.
+type StageProfile struct {
+	// Fwd and Bwd are the per-stage forward/backward times in seconds (the
+	// paper's f_x and b_x).
+	Fwd []float64
+	Bwd []float64
+	// Comm is the activation hand-off time between adjacent stages.
+	Comm float64
+	// Micro is the number of micro-batches per iteration.
+	Micro int
+}
+
+// Stages returns the pipeline depth of the profile.
+func (p StageProfile) Stages() int { return len(p.Fwd) }
+
+// Validate reports the first structural problem with the profile. Errors wrap
+// errdefs.ErrBadConfig.
+func (p StageProfile) Validate() error {
+	n := len(p.Fwd)
+	if n == 0 || len(p.Bwd) != n {
+		return fmt.Errorf("%w: sim: need matching non-empty stage times, got %d fwd / %d bwd",
+			errdefs.ErrBadConfig, n, len(p.Bwd))
+	}
+	if p.Micro <= 0 {
+		return fmt.Errorf("%w: sim: micro-batch count must be positive, got %d", errdefs.ErrBadConfig, p.Micro)
+	}
+	for i := 0; i < n; i++ {
+		if p.Fwd[i] < 0 || p.Bwd[i] < 0 {
+			return fmt.Errorf("%w: sim: negative stage time at stage %d", errdefs.ErrBadConfig, i)
+		}
+	}
+	if p.Comm < 0 {
+		return fmt.Errorf("%w: sim: negative communication constant %g", errdefs.ErrBadConfig, p.Comm)
+	}
+	return nil
+}
 
 // Phase labels the pipeline phase an operation belongs to (paper Fig. 5).
 type Phase int
@@ -91,19 +134,19 @@ type Result struct {
 
 // Simulate runs one synchronous 1F1B iteration with per-stage forward times
 // f, backward times b, communication constant comm, and m micro-batches.
+//
+// Deprecated: use SimulateProfile with a StageProfile value.
 func Simulate(f, b []float64, comm float64, m int) (*Result, error) {
+	return SimulateProfile(StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: m})
+}
+
+// SimulateProfile runs one synchronous 1F1B iteration for the profile.
+func SimulateProfile(p StageProfile) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f, b, comm, m := p.Fwd, p.Bwd, p.Comm, p.Micro
 	n := len(f)
-	if n == 0 || len(b) != n {
-		return nil, fmt.Errorf("sim: need matching non-empty stage times, got %d fwd / %d bwd", n, len(b))
-	}
-	if m <= 0 {
-		return nil, fmt.Errorf("sim: micro-batch count must be positive, got %d", m)
-	}
-	for i := 0; i < n; i++ {
-		if f[i] < 0 || b[i] < 0 {
-			return nil, fmt.Errorf("sim: negative stage time at stage %d", i)
-		}
-	}
 
 	r := &Result{F: append([]float64(nil), f...), B: append([]float64(nil), b...), Comm: comm, Micro: m}
 	r.Ops = buildSchedule(n, m)

@@ -14,6 +14,8 @@ package slicer
 
 import (
 	"fmt"
+
+	"autopipe/internal/sim"
 )
 
 // Plan is the slicing decision for a partition.
@@ -33,20 +35,25 @@ type Plan struct {
 // Solve runs Algorithm 2 on per-stage forward times f, backward times b and
 // communication constant comm, for a pipeline of m micro-batches.
 //
+// Deprecated: use SolveProfile with a sim.StageProfile value.
+func Solve(f, b []float64, comm float64, m int) (Plan, error) {
+	return SolveProfile(sim.StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: m})
+}
+
+// SolveProfile runs Algorithm 2 on a stage profile.
+//
 // The algorithm simulates the sliced warmup: endt[i][0] and endt[i][1] track
 // when stage i finishes the first and second halves of the split
 // micro-batches, startt approximates when each stage begins its first 1F1B
 // forward, and mb grows until the first unbroken micro-batch on stage 0
 // would start no earlier than the second half of the last split one ends —
 // i.e. until slicing more micro-batches could no longer stall the pipeline.
-func Solve(f, b []float64, comm float64, m int) (Plan, error) {
+func SolveProfile(prof sim.StageProfile) (Plan, error) {
+	if err := prof.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("slicer: %w", err)
+	}
+	f, b, comm, m := prof.Fwd, prof.Bwd, prof.Comm, prof.Micro
 	p := len(f)
-	if p == 0 || len(b) != p {
-		return Plan{}, fmt.Errorf("slicer: need matching non-empty stage times, got %d fwd / %d bwd", p, len(b))
-	}
-	if m <= 0 {
-		return Plan{}, fmt.Errorf("slicer: micro-batch count must be positive, got %d", m)
-	}
 	if p == 1 {
 		// A single stage has no startup overhead to hide.
 		return Plan{NumSliced: 0, Stages: p, Micro: m, Converged: true}, nil

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-core bench-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -19,16 +19,22 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# race-core runs the planner engine and plan evaluator under the race
-# detector at full depth — the packages where the parallel search's worker
-# pool and simulation cache live.
+# race-core runs the planner engine, plan evaluator, discrete-event
+# executor, and self-healing training driver under the race detector at
+# full depth — the packages where the parallel search's worker pool, the
+# simulation cache, and the fault-injected recovery paths live.
 race-core:
-	$(GO) test -race ./internal/core/... ./internal/plan/...
+	$(GO) test -race ./internal/core/... ./internal/plan/... ./internal/exec/... ./internal/train/...
 
 # bench-smoke compiles and runs every planner benchmark exactly once
 # (correctness smoke, not a measurement); the -run filter skips the tests.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Plan -benchtime=1x ./...
+
+# fault-smoke executes a schedule under the checked-in basic fault plan —
+# the README's resilience quickstart must keep working end to end.
+fault-smoke:
+	$(GO) run ./cmd/pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 -faults testdata/faults_basic.json
 
 # fmt-check fails (with the offending files listed) if anything is not
 # gofmt-clean.
@@ -43,8 +49,9 @@ tier1: build test
 
 # verify runs everything CI would: formatting, static analysis, the full
 # test suite under the race detector, the deep race pass over the planner
-# engine, a one-shot benchmark smoke, and the tier-1 gate.
-verify: fmt-check vet tier1 race race-core bench-smoke
+# engine, a one-shot benchmark smoke, the fault-injection smoke, and the
+# tier-1 gate.
+verify: fmt-check vet tier1 race race-core bench-smoke fault-smoke
 
 clean:
 	$(GO) clean ./...

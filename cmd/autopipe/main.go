@@ -7,10 +7,15 @@
 // Usage:
 //
 //	autopipe -model gpt2-345m -gpus 4 -mbs 4 -gbs 128 \
-//	         [-parallelism N] [-timeout 30s] [-json plan.json]
+//	         [-parallelism N] [-timeout 30s] [-faults plan.json] [-json plan.json]
+//
+// With -faults, the planned schedule is additionally executed under the
+// given fault plan, reporting the plan's iteration-time overhead when it
+// survives or the typed failure when it does not.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +24,13 @@ import (
 	"autopipe/internal/baselines/megatron"
 	"autopipe/internal/cliutil"
 	"autopipe/internal/config"
+	"autopipe/internal/errdefs"
+	"autopipe/internal/exec"
+	"autopipe/internal/fault"
 	"autopipe/internal/memory"
+	"autopipe/internal/model"
 	"autopipe/internal/plan"
+	"autopipe/internal/schedule"
 )
 
 func main() {
@@ -30,7 +40,13 @@ func main() {
 	gbs := flag.Int("gbs", 128, "global batch size")
 	jsonPath := flag.String("json", "", "write the plan as JSON to this path")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
+	ff := cliutil.RegisterFaults(flag.CommandLine)
 	flag.Parse()
+
+	fplan, err := ff.Load()
+	if err != nil {
+		fail(err)
+	}
 
 	mc, err := config.ModelByName(*modelName)
 	if err != nil {
@@ -81,11 +97,59 @@ func main() {
 				rr.IterTime*1e3, rr.IterTime/res.IterTime)
 		}
 	}
+	if fplan != nil {
+		assessFaults(spec, bl, res, cluster, fplan)
+	}
 	if *jsonPath != "" {
 		if err := config.Save(*jsonPath, spec); err != nil {
 			fail(err)
 		}
 		fmt.Printf("plan written to %s\n", *jsonPath)
+	}
+}
+
+// assessFaults re-executes the planned schedule under the fault plan and
+// reports the survivor's overhead, or the typed failure if the plan cannot
+// finish an iteration under injection.
+func assessFaults(spec *plan.Spec, bl *model.Blocks, res *plan.Result, cluster config.Cluster, fplan *fault.Plan) {
+	f, b := plan.StageWallTimes(spec, bl)
+	var sched *schedule.Schedule
+	var err error
+	if spec.NumSliced > 0 {
+		sched, err = schedule.Sliced(spec.Depth(), res.Micro, spec.NumSliced)
+	} else {
+		sched, err = schedule.OneFOneB(spec.Depth(), res.Micro)
+	}
+	if err != nil {
+		fail(err)
+	}
+	cfg := exec.Config{
+		VirtFwd:        f,
+		VirtBwd:        b,
+		CommBytes:      bl.List[0].OutBytes,
+		Network:        cluster.Network,
+		KernelOverhead: cluster.Device.KernelOverhead,
+	}
+	clean, err := exec.Run(sched, cfg)
+	if err != nil {
+		fail(err)
+	}
+	cfg.Faults = fault.New(fplan, nil)
+	faulted, err := exec.Run(sched, cfg)
+	name := fplan.Name
+	if name == "" {
+		name = "faults"
+	}
+	switch {
+	case err == nil:
+		fmt.Printf("under fault plan %q: %.1f ms (+%.1f%% over the clean %.1f ms execution)\n",
+			name, faulted.IterTime*1e3, 100*(faulted.IterTime-clean.IterTime)/clean.IterTime, clean.IterTime*1e3)
+	case errors.Is(err, errdefs.ErrDeviceLost) || errors.Is(err, errdefs.ErrLinkDown):
+		fmt.Printf("under fault plan %q: plan does not survive (%v); the self-healing driver would checkpoint and replan over the survivors\n", name, err)
+	case errors.Is(err, errdefs.ErrTransient):
+		fmt.Printf("under fault plan %q: transient failure (%v); a retry would succeed\n", name, err)
+	default:
+		fail(err)
 	}
 }
 

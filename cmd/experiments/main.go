@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b] \
-//	            [-parallelism N] [-timeout 10m] [-csv dir]
+//	experiments [-exp all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b|resilience] \
+//	            [-parallelism N] [-timeout 10m] [-csv dir] [-faults plan.json]
+//
+// -faults adds a custom scenario to the resilience sweep: the given fault
+// plan is injected into the self-healing training driver alongside the
+// built-in clean/transient/straggler/crash scenarios.
 package main
 
 import (
@@ -23,10 +27,17 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (comma-separated), or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
+	ff := cliutil.RegisterFaults(flag.CommandLine)
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
 	env.Search = pf.Options()
+	fplan, err := ff.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	env.Faults = fplan
 	ctx, cancel := pf.Context()
 	defer cancel()
 	env.Ctx = ctx
@@ -50,9 +61,11 @@ func main() {
 		"abl-interleaved": func() (*tableio.Table, error) { _, t, err := env.AblationInterleaved(); return t, err },
 		// Planner/Slicer search telemetry (beyond the paper; DESIGN.md §7).
 		"telemetry": func() (*tableio.Table, error) { _, t, err := env.PlannerTelemetry(); return t, err },
+		// Self-healing driver under injected faults (DESIGN.md §10).
+		"resilience": func() (*tableio.Table, error) { _, t, err := env.Resilience(); return t, err },
 	}
 	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "table3", "table4", "fig12", "fig13", "fig14a", "fig14b",
-		"abl-granularity", "abl-heuristic", "abl-slicing", "abl-schedule", "abl-interleaved", "telemetry"}
+		"abl-granularity", "abl-heuristic", "abl-slicing", "abl-schedule", "abl-interleaved", "telemetry", "resilience"}
 
 	var ids []string
 	if *exp == "all" {

@@ -6,12 +6,19 @@
 //
 //	pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 \
 //	        [-schedule 1f1b|gpipe|sliced|interleaved] [-sliced N] [-gantt] \
-//	        [-parallelism N] [-timeout 30s] \
+//	        [-parallelism N] [-timeout 30s] [-faults plan.json] \
 //	        [-metrics report.json] [-trace trace.json]
+//
+// With -faults, the schedule executes under the injected fault plan: a
+// surviving run reports its slowdown against the clean baseline, while a
+// fatal fault (device crash, permanent link loss) is classified by its typed
+// error. See cmd/experiments -suite resilience for the self-healing driver
+// that recovers from fatal faults instead of stopping.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +28,9 @@ import (
 	"autopipe/internal/cliutil"
 	"autopipe/internal/config"
 	"autopipe/internal/cost"
+	"autopipe/internal/errdefs"
 	"autopipe/internal/exec"
+	"autopipe/internal/fault"
 	"autopipe/internal/memory"
 	"autopipe/internal/model"
 	"autopipe/internal/obs"
@@ -60,7 +69,13 @@ func main() {
 	critical := flag.Bool("critical", false, "print the executed critical path")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics report (bubbles, utilization, links, memory) to this path")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
+	ff := cliutil.RegisterFaults(flag.CommandLine)
 	flag.Parse()
+
+	plan, err := ff.Load()
+	if err != nil {
+		fail(err)
+	}
 
 	mc, err := config.ModelByName(*modelName)
 	if err != nil {
@@ -123,16 +138,28 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	r, err := exec.Run(s, exec.Config{
+	cfg := exec.Config{
 		VirtFwd:        virtF,
 		VirtBwd:        virtB,
 		CommBytes:      bl.List[0].OutBytes,
 		Network:        cluster.Network,
 		KernelOverhead: cluster.Device.KernelOverhead,
 		Obs:            reg,
-	})
+	}
+	var cleanIter float64
+	if plan != nil {
+		// Baseline without injection so the faulted run's slowdown is
+		// attributable, then execute under the plan.
+		clean, err := exec.Run(s, cfg)
+		if err != nil {
+			fail(err)
+		}
+		cleanIter = clean.IterTime
+		cfg.Faults = fault.New(plan, reg)
+	}
+	r, err := exec.Run(s, cfg)
 	if err != nil {
-		fail(err)
+		failFault(err)
 	}
 
 	// Activation-memory ledger: available whenever virtual stages map 1:1 to
@@ -158,6 +185,15 @@ func main() {
 	fmt.Print(part.Describe(bl))
 	fmt.Printf("\niteration time:   %.1f ms\n", r.IterTime*1e3)
 	fmt.Printf("startup overhead: %.1f ms\n", r.Startup*1e3)
+	if plan != nil {
+		name := plan.Name
+		if name == "" {
+			name = ff.Path
+		}
+		injected := reg.Snapshot().Counters["fault.injected"]
+		fmt.Printf("fault plan %q: %d fault(s) declared, %.0f activated; survived with +%.1f%% iteration time (clean %.1f ms)\n",
+			name, len(plan.Faults), injected, 100*(r.IterTime-cleanIter)/cleanIter, cleanIter*1e3)
+	}
 	for d, u := range r.Utilization() {
 		fmt.Printf("device %d utilization: %.1f%%\n", d, 100*u)
 	}
@@ -230,5 +266,24 @@ func main() {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "pipesim:", err)
+	os.Exit(1)
+}
+
+// failFault classifies a typed executor failure before exiting, pointing at
+// the recovery path for faults a bare schedule run cannot survive.
+func failFault(err error) {
+	switch {
+	case errors.Is(err, errdefs.ErrDeviceLost):
+		fmt.Fprintln(os.Stderr, "pipesim: fatal fault (device lost):", err)
+		fmt.Fprintln(os.Stderr, "pipesim: a bare schedule cannot survive device loss; the self-healing driver (cmd/experiments -suite resilience) checkpoints and replans over the survivors")
+	case errors.Is(err, errdefs.ErrLinkDown):
+		fmt.Fprintln(os.Stderr, "pipesim: fatal fault (link down):", err)
+	case errors.Is(err, errdefs.ErrOOM):
+		fmt.Fprintln(os.Stderr, "pipesim: fault (out of memory):", err)
+	case errors.Is(err, errdefs.ErrTransient):
+		fmt.Fprintln(os.Stderr, "pipesim: transient fault (retry would succeed):", err)
+	default:
+		fmt.Fprintln(os.Stderr, "pipesim:", err)
+	}
 	os.Exit(1)
 }

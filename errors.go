@@ -19,4 +19,15 @@ var (
 	// ErrOOM marks an evaluated plan that exceeded device memory on the
 	// discrete-event executor (EvalResult.Failure wraps it).
 	ErrOOM = errdefs.ErrOOM
+	// ErrDeadlock marks a structurally corrupted schedule whose stages wait
+	// on each other forever on the discrete-event executor.
+	ErrDeadlock = errdefs.ErrDeadlock
+	// ErrDeviceLost marks the permanent loss of a device during execution
+	// (a fault-plan crash); recovery is checkpoint → replan → resume.
+	ErrDeviceLost = errdefs.ErrDeviceLost
+	// ErrLinkDown marks a permanently failed interconnect link.
+	ErrLinkDown = errdefs.ErrLinkDown
+	// ErrTransient marks a retryable communication failure (a dropped
+	// message under fault injection).
+	ErrTransient = errdefs.ErrTransient
 )

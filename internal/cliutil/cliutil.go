@@ -11,6 +11,7 @@ import (
 
 	"autopipe"
 	"autopipe/internal/core"
+	"autopipe/internal/fault"
 )
 
 // PlannerFlags holds the parsed values of the shared planner flags.
@@ -50,4 +51,27 @@ func (pf *PlannerFlags) Options() core.Options {
 // for callers constructing an autopipe.Planner.
 func (pf *PlannerFlags) PlannerOptions() []autopipe.PlannerOption {
 	return []autopipe.PlannerOption{autopipe.WithParallelism(pf.Parallelism)}
+}
+
+// FaultFlags holds the parsed values of the shared fault-injection flags.
+type FaultFlags struct {
+	// Path is the fault-plan JSON file; empty means no injection.
+	Path string
+}
+
+// RegisterFaults installs the shared fault-injection flags on fs (before
+// fs.Parse).
+func RegisterFaults(fs *flag.FlagSet) *FaultFlags {
+	ff := &FaultFlags{}
+	fs.StringVar(&ff.Path, "faults", "", "fault-plan JSON file to inject during execution (empty = no faults)")
+	return ff
+}
+
+// Load parses the fault plan named by -faults. It returns (nil, nil) when no
+// plan was requested, so callers can pass the result straight through.
+func (ff *FaultFlags) Load() (*fault.Plan, error) {
+	if ff.Path == "" {
+		return nil, nil
+	}
+	return fault.Load(ff.Path)
 }

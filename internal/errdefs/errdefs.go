@@ -27,4 +27,24 @@ var (
 	// stage-time vectors, and so on. It is always detected up front, before
 	// any search work starts.
 	ErrBadConfig = errors.New("bad configuration")
+
+	// ErrDeadlock reports a schedule whose stages wait on each other forever:
+	// the discrete-event executor made a full pass over every device without
+	// issuing a single operation while work remained.
+	ErrDeadlock = errors.New("schedule deadlock")
+
+	// ErrDeviceLost reports the permanent loss of a device (a crash fault or
+	// an unrecoverable hardware failure). Recovery requires checkpoint,
+	// re-partitioning over the survivors, and resume.
+	ErrDeviceLost = errors.New("device lost")
+
+	// ErrLinkDown reports a permanently failed interconnect link: a message
+	// needed the link and no recovery window exists. The self-healing driver
+	// treats the unreachable downstream device as lost.
+	ErrLinkDown = errors.New("link down")
+
+	// ErrTransient reports a transient communication failure (a dropped
+	// message). The operation is safe to retry; the self-healing driver does
+	// so with capped exponential backoff.
+	ErrTransient = errors.New("transient communication failure")
 )

@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"autopipe/internal/config"
+	"autopipe/internal/errdefs"
+	"autopipe/internal/fault"
 	"autopipe/internal/obs"
 	"autopipe/internal/schedule"
 )
@@ -39,6 +41,55 @@ type Config struct {
 	// Obs, if non-nil, receives execution counters (ops, messages, bytes)
 	// and a run span.
 	Obs *obs.Registry
+	// Faults, if non-nil, injects the fault plan's timed events into this
+	// execution: stragglers scale compute, degraded links lose bandwidth,
+	// flapped links defer messages, drops / crashes / injected OOM abort the
+	// run with typed errors (fault.TransientError, fault.DeviceLostError,
+	// fault.LinkDownError, fault.OOMError).
+	Faults *fault.Injector
+	// Start is the absolute simulated time at which this execution begins;
+	// fault windows are expressed on that absolute clock, so a driver running
+	// many iterations advances Start by each iteration's makespan.
+	Start float64
+	// DeviceMap maps schedule device indices to the physical device ids
+	// fault plans reference; nil means the identity mapping.
+	DeviceMap []int
+}
+
+// Validate reports the first structural problem with the config: mismatched
+// or negative stage-time vectors, a non-positive link bandwidth, negative
+// latency, jitter, overhead, payload, or start time. Errors wrap
+// errdefs.ErrBadConfig, so a bad config fails up front instead of producing
+// NaN timings or panics deep inside the event loop.
+func (cfg Config) Validate() error {
+	if len(cfg.VirtFwd) != len(cfg.VirtBwd) {
+		return fmt.Errorf("%w: exec: %d forward times but %d backward times",
+			errdefs.ErrBadConfig, len(cfg.VirtFwd), len(cfg.VirtBwd))
+	}
+	for i := range cfg.VirtFwd {
+		if cfg.VirtFwd[i] < 0 || math.IsNaN(cfg.VirtFwd[i]) || cfg.VirtBwd[i] < 0 || math.IsNaN(cfg.VirtBwd[i]) {
+			return fmt.Errorf("%w: exec: negative or NaN stage time at virtual stage %d", errdefs.ErrBadConfig, i)
+		}
+	}
+	if cfg.CommBytes < 0 {
+		return fmt.Errorf("%w: exec: negative payload %d bytes", errdefs.ErrBadConfig, cfg.CommBytes)
+	}
+	if cfg.Network.Bandwidth <= 0 || math.IsNaN(cfg.Network.Bandwidth) {
+		return fmt.Errorf("%w: exec: link bandwidth must be positive, got %g", errdefs.ErrBadConfig, cfg.Network.Bandwidth)
+	}
+	if cfg.Network.Latency < 0 || math.IsNaN(cfg.Network.Latency) {
+		return fmt.Errorf("%w: exec: negative link latency %g", errdefs.ErrBadConfig, cfg.Network.Latency)
+	}
+	if cfg.KernelOverhead < 0 || math.IsNaN(cfg.KernelOverhead) {
+		return fmt.Errorf("%w: exec: negative kernel overhead %g", errdefs.ErrBadConfig, cfg.KernelOverhead)
+	}
+	if cfg.Jitter < 0 || math.IsNaN(cfg.Jitter) {
+		return fmt.Errorf("%w: exec: negative jitter %g", errdefs.ErrBadConfig, cfg.Jitter)
+	}
+	if cfg.Start < 0 || math.IsNaN(cfg.Start) {
+		return fmt.Errorf("%w: exec: negative start time %g", errdefs.ErrBadConfig, cfg.Start)
+	}
+	return nil
 }
 
 // OpTrace records one executed operation.
@@ -104,12 +155,25 @@ type arrivalInfo struct {
 
 // Run executes s under cfg.
 func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if len(cfg.VirtFwd) != s.VirtStages || len(cfg.VirtBwd) != s.VirtStages {
-		return nil, fmt.Errorf("exec: schedule has %d virtual stages, config has %d fwd / %d bwd times",
-			s.VirtStages, len(cfg.VirtFwd), len(cfg.VirtBwd))
+		return nil, fmt.Errorf("%w: exec: schedule has %d virtual stages, config has %d fwd / %d bwd times",
+			errdefs.ErrBadConfig, s.VirtStages, len(cfg.VirtFwd), len(cfg.VirtBwd))
+	}
+	if cfg.DeviceMap != nil && len(cfg.DeviceMap) != s.Devices {
+		return nil, fmt.Errorf("%w: exec: device map has %d entries, schedule has %d devices",
+			errdefs.ErrBadConfig, len(cfg.DeviceMap), s.Devices)
+	}
+	phys := func(d int) int {
+		if cfg.DeviceMap != nil {
+			return cfg.DeviceMap[d]
+		}
+		return d
 	}
 	var span *obs.Span
 	if cfg.Obs != nil {
@@ -132,22 +196,43 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		remaining += len(ops)
 	}
 
-	transfer := func(m MsgTrace) float64 {
+	transfer := func(m MsgTrace) (float64, error) {
 		if m.From == m.To {
 			m.Start, m.Free, m.Arrive = m.Ready, m.Ready, m.Ready
 			res.Msgs = append(res.Msgs, m)
-			return m.Ready
+			return m.Ready, nil
 		}
 		key := [2]int{m.From, m.To}
 		m.Start = m.Ready
 		if linkFree[key] > m.Start {
 			m.Start = linkFree[key]
 		}
-		m.Arrive = m.Start + cfg.Network.Latency + float64(m.Bytes)/cfg.Network.Bandwidth
+		bw := cfg.Network.Bandwidth
+		if cfg.Faults != nil {
+			pf, pt := phys(m.From), phys(m.To)
+			abs := cfg.Start + m.Start
+			// A flapped link defers the message to the end of the flap; a
+			// permanent flap (no recovery window) is a dead link.
+			if until, blocked, permanent := cfg.Faults.LinkBlocked(pf, pt, abs); blocked {
+				if permanent {
+					return 0, &fault.LinkDownError{From: pf, To: pt, At: abs}
+				}
+				m.Start = until - cfg.Start
+				abs = until
+			}
+			// A dropped send surfaces as a retryable transient failure; the
+			// injector consumes the fault, so a re-executed iteration passes
+			// once the drop budget is spent.
+			if cfg.Faults.DropAttempt(pf, pt, abs, msgID(m)) {
+				return 0, &fault.TransientError{From: pf, To: pt, At: abs}
+			}
+			bw *= cfg.Faults.LinkFactor(pf, pt, abs)
+		}
+		m.Arrive = m.Start + cfg.Network.Latency + float64(m.Bytes)/bw
 		m.Free = m.Arrive - cfg.Network.Latency
 		linkFree[key] = m.Free
 		res.Msgs = append(res.Msgs, m)
-		return m.Arrive
+		return m.Arrive, nil
 	}
 
 	for remaining > 0 {
@@ -165,6 +250,18 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 				}
 				start += cfg.KernelOverhead
 				dur := opDuration(op, cfg, &rng)
+				if cfg.Faults != nil {
+					pd, abs := phys(d), cfg.Start+start
+					if since, dead := cfg.Faults.Crashed(pd, abs); dead {
+						endSpan(span)
+						return nil, &fault.DeviceLostError{Device: pd, At: since}
+					}
+					if cfg.Faults.OOMAt(pd, abs) {
+						endSpan(span)
+						return nil, &fault.OOMError{Device: pd, At: abs}
+					}
+					dur *= cfg.Faults.ComputeScale(pd, abs)
+				}
 				end := start + dur
 				devFree[d] = end
 				res.Busy[d] += dur
@@ -176,14 +273,18 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 				if d == s.Devices-1 && math.IsNaN(res.Startup) {
 					res.Startup = start - cfg.KernelOverhead
 				}
-				deliver(op, s, cfg, end, arrived, pendingHalf, transfer)
+				if err := deliver(op, s, cfg, end, arrived, pendingHalf, transfer); err != nil {
+					endSpan(span)
+					return nil, err
+				}
 				next[d]++
 				remaining--
 				progressed = true
 			}
 		}
 		if !progressed {
-			return nil, fmt.Errorf("exec: schedule %s deadlocked with %d ops remaining", s.Name, remaining)
+			return nil, fmt.Errorf("%w: exec: schedule %s deadlocked with %d ops remaining",
+				errdefs.ErrDeadlock, s.Name, remaining)
 		}
 	}
 
@@ -255,9 +356,10 @@ func opDuration(op schedule.Op, cfg Config, rng *jitterStream) float64 {
 }
 
 // deliver schedules op's output transfer (if any) and deposits the arrival
-// times consumers wait on.
+// times consumers wait on. A fault on the transfer (dropped message, dead
+// link) propagates as a typed error.
 func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
-	arrived map[msgKey]arrivalInfo, pendingHalf map[msgKey]float64, transfer func(MsgTrace) float64) {
+	arrived map[msgKey]arrivalInfo, pendingHalf map[msgKey]float64, transfer func(MsgTrace) (float64, error)) error {
 
 	var destVirt int
 	switch {
@@ -266,7 +368,7 @@ func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
 	case op.Kind == schedule.Bwd && op.Virt > 0:
 		destVirt = op.Virt - 1
 	default:
-		return
+		return nil
 	}
 	from := s.DeviceOf[op.Virt]
 	to := s.DeviceOf[destVirt]
@@ -285,7 +387,10 @@ func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
 		}
 		delete(pendingHalf, sibling)
 		msg.Bytes, msg.Ready = cfg.CommBytes, ready // both halves in one message
-		arrival := transfer(msg)
+		arrival, err := transfer(msg)
+		if err != nil {
+			return err
+		}
 		arrived[self] = arrivalInfo{ready, arrival}
 		arrived[sibling] = arrivalInfo{ready, arrival}
 	default:
@@ -294,7 +399,29 @@ func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
 			bytes /= 2
 		}
 		msg.Bytes, msg.Ready = bytes, end
-		arrived[self] = arrivalInfo{end, transfer(msg)}
+		arrival, err := transfer(msg)
+		if err != nil {
+			return err
+		}
+		arrived[self] = arrivalInfo{end, arrival}
+	}
+	return nil
+}
+
+// msgID folds a message's identity (kind, virtual stage, micro-batch, half)
+// into the stable key probabilistic drop decisions hash on.
+func msgID(m MsgTrace) uint64 {
+	k := uint64(1)
+	if m.Kind == schedule.Bwd {
+		k = 2
+	}
+	return k<<48 | uint64(m.Virt&0xFFFF)<<32 | uint64(m.Micro&0xFFFF)<<16 | uint64(m.Half+1)&0xFFFF
+}
+
+// endSpan closes a possibly-nil obs span on an error return path.
+func endSpan(s *obs.Span) {
+	if s != nil {
+		s.End()
 	}
 }
 

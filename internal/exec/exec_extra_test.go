@@ -1,23 +1,25 @@
 package exec
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"autopipe/internal/config"
+	"autopipe/internal/errdefs"
 	"autopipe/internal/schedule"
 )
 
 // TestRunDetectsDeadlock: a corrupted schedule whose stages wait on each
-// other must be reported as a deadlock, not hang.
+// other must be reported as a typed deadlock, not hang.
 func TestRunDetectsDeadlock(t *testing.T) {
 	s, _ := schedule.OneFOneB(2, 2)
 	// Create a circular wait: stage 0 demands micro-batch 0's backward
 	// before it has even sent the forward stage 1 needs to produce it.
 	s.Ops[0][0], s.Ops[0][2] = s.Ops[0][2], s.Ops[0][0]
 	_, err := Run(s, uniformCfg(2, 1, 2))
-	if err == nil || !strings.Contains(err.Error(), "deadlock") {
-		t.Fatalf("corrupted schedule: err = %v, want deadlock", err)
+	if !errors.Is(err, errdefs.ErrDeadlock) {
+		t.Fatalf("corrupted schedule: err = %v, want errdefs.ErrDeadlock", err)
 	}
 }
 

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"autopipe/internal/config"
+	"autopipe/internal/errdefs"
+	"autopipe/internal/fault"
+	"autopipe/internal/schedule"
+)
+
+func mustRun(t *testing.T, p, m int, cfg Config) *Result {
+	t.Helper()
+	s, err := schedule.OneFOneB(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFaultStragglerSlowsIteration: an active straggler multiplies the
+// device's compute and therefore the makespan; outside its window timings are
+// untouched.
+func TestFaultStragglerSlowsIteration(t *testing.T) {
+	cfg := uniformCfg(2, 1, 2)
+	clean := mustRun(t, 2, 4, cfg)
+
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Straggler, At: 0, Device: 1, Factor: 2},
+	}}, nil)
+	slow := mustRun(t, 2, 4, cfg)
+	if slow.IterTime <= clean.IterTime*1.5 {
+		t.Errorf("straggler barely slowed: %.3f vs clean %.3f", slow.IterTime, clean.IterTime)
+	}
+
+	// Window entirely in the past relative to Start: no effect.
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Straggler, At: 0, Duration: 5, Device: 1, Factor: 2},
+	}}, nil)
+	cfg.Start = 100
+	late := mustRun(t, 2, 4, cfg)
+	if late.IterTime != clean.IterTime {
+		t.Errorf("expired straggler still active: %.6f vs %.6f", late.IterTime, clean.IterTime)
+	}
+}
+
+// TestFaultLinkDegradeStretchesTransfers: halving link bandwidth doubles
+// serialization time for cross-stage messages.
+func TestFaultLinkDegradeStretchesTransfers(t *testing.T) {
+	cfg := uniformCfg(2, 0.001, 0.002)
+	cfg.CommBytes = 1e9
+	cfg.Network = config.Network{Bandwidth: 1e9, Latency: 0} // 1 s per transfer
+	clean := mustRun(t, 2, 2, cfg)
+
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.LinkDegrade, At: 0, From: 0, To: 1, Factor: 0.5},
+	}}, nil)
+	slow := mustRun(t, 2, 2, cfg)
+	if slow.IterTime < clean.IterTime+0.9 {
+		t.Errorf("degraded link: %.3f vs clean %.3f", slow.IterTime, clean.IterTime)
+	}
+}
+
+// TestFaultLinkFlapDefersMessages: a finite flap delays the message until the
+// link returns; a permanent flap is a typed link-down failure.
+func TestFaultLinkFlapDefersMessages(t *testing.T) {
+	cfg := uniformCfg(2, 0.1, 0.2)
+	cfg.CommBytes = 1000
+	cfg.Network = config.Network{Bandwidth: 1e9, Latency: 0}
+	clean := mustRun(t, 2, 2, cfg)
+
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.LinkFlap, At: 0, Duration: 2, From: 0, To: 1},
+	}}, nil)
+	r := mustRun(t, 2, 2, cfg)
+	if r.IterTime < 2 {
+		t.Errorf("flapped link did not defer first transfer: iter %.3f", r.IterTime)
+	}
+	if r.IterTime < clean.IterTime {
+		t.Errorf("flap shortened iteration: %.3f vs %.3f", r.IterTime, clean.IterTime)
+	}
+
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.LinkFlap, At: 0, From: 0, To: 1}, // permanent
+	}}, nil)
+	s, _ := schedule.OneFOneB(2, 2)
+	_, err := Run(s, cfg)
+	if !errors.Is(err, errdefs.ErrLinkDown) {
+		t.Fatalf("permanent flap: err = %v, want ErrLinkDown", err)
+	}
+	var down *fault.LinkDownError
+	if !errors.As(err, &down) || down.From != 0 || down.To != 1 {
+		t.Errorf("link-down detail: %+v", down)
+	}
+}
+
+// TestFaultMsgDropIsTransientAndConsumed: a count-mode drop fails the run
+// with a typed transient error; re-running with the same (stateful) injector
+// succeeds once the budget is spent.
+func TestFaultMsgDropIsTransientAndConsumed(t *testing.T) {
+	cfg := uniformCfg(2, 1, 2)
+	cfg.CommBytes = 1000
+	inj := fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.MsgDrop, At: 0, From: 0, To: 1, Count: 1},
+	}}, nil)
+	cfg.Faults = inj
+
+	s, _ := schedule.OneFOneB(2, 2)
+	_, err := Run(s, cfg)
+	if !errors.Is(err, errdefs.ErrTransient) {
+		t.Fatalf("dropped message: err = %v, want ErrTransient", err)
+	}
+	if _, err := Run(s, cfg); err != nil {
+		t.Fatalf("retry after consumed drop failed: %v", err)
+	}
+}
+
+// TestFaultDeviceCrashIsTyped: an op launched on a crashed device fails with
+// ErrDeviceLost carrying the physical id through DeviceMap.
+func TestFaultDeviceCrashIsTyped(t *testing.T) {
+	cfg := uniformCfg(2, 1, 2)
+	cfg.DeviceMap = []int{4, 7} // stage 1 lives on physical device 7
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.DeviceCrash, At: 0.5, Device: 7},
+	}}, nil)
+	s, _ := schedule.OneFOneB(2, 4)
+	_, err := Run(s, cfg)
+	if !errors.Is(err, errdefs.ErrDeviceLost) {
+		t.Fatalf("crash: err = %v, want ErrDeviceLost", err)
+	}
+	var lost *fault.DeviceLostError
+	if !errors.As(err, &lost) || lost.Device != 7 {
+		t.Errorf("crash detail: %+v, want physical device 7", lost)
+	}
+}
+
+// TestFaultOOMFiresOnce: an injected OOM is typed and consumed, so the retry
+// completes.
+func TestFaultOOMFiresOnce(t *testing.T) {
+	cfg := uniformCfg(2, 1, 2)
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.DeviceOOM, At: 0, Device: 0},
+	}}, nil)
+	s, _ := schedule.OneFOneB(2, 2)
+	_, err := Run(s, cfg)
+	if !errors.Is(err, errdefs.ErrOOM) {
+		t.Fatalf("injected OOM: err = %v, want ErrOOM", err)
+	}
+	if _, err := Run(s, cfg); err != nil {
+		t.Fatalf("retry after injected OOM failed: %v", err)
+	}
+}
+
+// TestFaultedRunIsDeterministic: same plan, same seed, fresh injectors —
+// byte-identical traces.
+func TestFaultedRunIsDeterministic(t *testing.T) {
+	plan := &fault.Plan{Seed: 5, Faults: []fault.Fault{
+		{Kind: fault.Straggler, At: 0.5, Duration: 3, Device: 0, Factor: 1.7},
+		{Kind: fault.LinkDegrade, At: 1, Duration: 2, From: 0, To: 1, Factor: 0.4},
+	}}
+	run := func() *Result {
+		cfg := uniformCfg(2, 0.3, 0.6)
+		cfg.CommBytes = 1e8
+		cfg.Network = config.Network{Bandwidth: 1e9, Latency: 1e-4}
+		cfg.Jitter = 0.02
+		cfg.Seed = 9
+		cfg.Faults = fault.New(plan, nil)
+		return mustRun(t, 2, 6, cfg)
+	}
+	a, b := run(), run()
+	if a.IterTime != b.IterTime || a.Startup != b.Startup {
+		t.Fatalf("makespans diverged: %v vs %v", a.IterTime, b.IterTime)
+	}
+	for d := range a.Traces {
+		for i := range a.Traces[d] {
+			if a.Traces[d][i] != b.Traces[d][i] {
+				t.Fatalf("trace diverged at dev %d op %d", d, i)
+			}
+		}
+	}
+}
+
+// TestConfigValidate: structural problems are ErrBadConfig before execution.
+func TestConfigValidate(t *testing.T) {
+	base := uniformCfg(2, 1, 2)
+	cases := map[string]func(*Config){
+		"mismatched vectors": func(c *Config) { c.VirtBwd = c.VirtBwd[:1] },
+		"negative stage":     func(c *Config) { c.VirtFwd[0] = -1 },
+		"NaN stage":          func(c *Config) { c.VirtBwd[1] = math.NaN() },
+		"negative payload":   func(c *Config) { c.CommBytes = -1 },
+		"zero bandwidth":     func(c *Config) { c.Network.Bandwidth = 0 },
+		"negative bandwidth": func(c *Config) { c.Network.Bandwidth = -5 },
+		"negative latency":   func(c *Config) { c.Network.Latency = -1 },
+		"negative overhead":  func(c *Config) { c.KernelOverhead = -1e-6 },
+		"negative jitter":    func(c *Config) { c.Jitter = -0.1 },
+		"negative start":     func(c *Config) { c.Start = -2 },
+	}
+	s, _ := schedule.OneFOneB(2, 2)
+	for name, mutate := range cases {
+		cfg := base
+		cfg.VirtFwd = append([]float64(nil), base.VirtFwd...)
+		cfg.VirtBwd = append([]float64(nil), base.VirtBwd...)
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, errdefs.ErrBadConfig) {
+			t.Errorf("%s: Validate = %v, want ErrBadConfig", name, err)
+		}
+		if _, err := Run(s, cfg); !errors.Is(err, errdefs.ErrBadConfig) {
+			t.Errorf("%s: Run = %v, want ErrBadConfig", name, err)
+		}
+	}
+	// A wrong-length device map is rejected too.
+	cfg := uniformCfg(2, 1, 2)
+	cfg.DeviceMap = []int{0}
+	if _, err := Run(s, cfg); !errors.Is(err, errdefs.ErrBadConfig) {
+		t.Errorf("short device map: %v, want ErrBadConfig", err)
+	}
+}

@@ -155,6 +155,87 @@ func TestLedgerStaticBaseline(t *testing.T) {
 	}
 }
 
+// TestLedgerExactFitBoundary: a device whose stash peak lands exactly on a
+// capacity budget is in bounds; one byte more is over. This is the OOM
+// boundary the static estimator reasons about — the ledger must not
+// over-count by even a byte.
+func TestLedgerExactFitBoundary(t *testing.T) {
+	p, m := 4, 8
+	s, _ := schedule.OneFOneB(p, m)
+	r, err := Run(s, uniformCfg(p, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stash = 1000
+	peak, err := ledger(p, stash).PeakUsage(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 holds all p in-flight stashes in 1F1B: capacity p*stash fits
+	// exactly, capacity p*stash-1 would OOM.
+	budget := int64(p) * stash
+	if peak[0] != budget {
+		t.Fatalf("device-0 peak %d, want exact fit %d", peak[0], budget)
+	}
+	if peak[0] > budget {
+		t.Error("exact-fit schedule reported over budget")
+	}
+	if !(peak[0] > budget-1) {
+		t.Error("one-byte-smaller budget should OOM")
+	}
+}
+
+// TestLedgerFreesBeforeAllocsAtEqualTime: when a backward's release and the
+// next forward's allocation land on the same timestamp, the free applies
+// first, so the back-to-back pair never double-counts — the peak stays at one
+// stash, not two.
+func TestLedgerFreesBeforeAllocsAtEqualTime(t *testing.T) {
+	s := &schedule.Schedule{Name: "handmade", Devices: 1, VirtStages: 1, NumMicro: 2, DeviceOf: []int{0}}
+	r := &Result{Traces: [][]OpTrace{{
+		{Op: schedule.Op{Kind: schedule.Fwd, Virt: 0, Micro: 0, Half: -1}, Start: 0, End: 1},
+		{Op: schedule.Op{Kind: schedule.Bwd, Virt: 0, Micro: 0, Half: -1}, Start: 1, End: 2},
+		{Op: schedule.Op{Kind: schedule.Fwd, Virt: 0, Micro: 1, Half: -1}, Start: 2, End: 3},
+		{Op: schedule.Op{Kind: schedule.Bwd, Virt: 0, Micro: 1, Half: -1}, Start: 3, End: 4},
+	}}}
+	l := &MemoryLedger{StashBytes: []int64{1000}, StaticBytes: []int64{0}}
+	peak, err := l.PeakUsage(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak[0] != 1000 {
+		t.Errorf("peak %d, want 1000 — free at t=2 must apply before the alloc at t=2", peak[0])
+	}
+	tl, err := l.Timeline(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tl[0][len(tl[0])-1]
+	if last.Bytes != 0 {
+		t.Errorf("timeline does not return to static footprint: %+v", last)
+	}
+	for i := 1; i < len(tl[0]); i++ {
+		if tl[0][i].At < tl[0][i-1].At {
+			t.Errorf("timeline not time-sorted at %d: %+v", i, tl[0])
+		}
+	}
+}
+
+// TestLedgerDetectsLeak: a trace whose backward never ran leaves activations
+// resident — the ledger reports it instead of silently under-counting.
+func TestLedgerDetectsLeak(t *testing.T) {
+	s := &schedule.Schedule{Name: "leaky", Devices: 1, VirtStages: 1, NumMicro: 1, DeviceOf: []int{0}}
+	r := &Result{Traces: [][]OpTrace{{
+		{Op: schedule.Op{Kind: schedule.Fwd, Virt: 0, Micro: 0, Half: -1}, Start: 0, End: 1},
+	}}}
+	l := &MemoryLedger{StashBytes: []int64{1000}, StaticBytes: []int64{0}}
+	if _, err := l.PeakUsage(s, r); err == nil {
+		t.Error("PeakUsage accepted a leaked stash")
+	}
+	if _, err := l.Timeline(s, r); err == nil {
+		t.Error("Timeline accepted a leaked stash")
+	}
+}
+
 func TestLedgerRejectsMismatch(t *testing.T) {
 	s, _ := schedule.OneFOneB(4, 4)
 	r, err := Run(s, uniformCfg(4, 1, 2))

@@ -15,6 +15,7 @@ import (
 	"autopipe/internal/core"
 	"autopipe/internal/cost"
 	"autopipe/internal/exec"
+	"autopipe/internal/fault"
 	"autopipe/internal/memory"
 	"autopipe/internal/model"
 	"autopipe/internal/partition"
@@ -35,6 +36,9 @@ type Env struct {
 	// for every planning call. Engine results are independent of
 	// parallelism, so the tables come out identical at any setting.
 	Search core.Options
+	// Faults, when non-nil, is appended to the Resilience sweep as an extra
+	// custom scenario (cmd/experiments -faults).
+	Faults *fault.Plan
 }
 
 // DefaultEnv returns the paper's testbed: 16 RTX 3090s over 100 Gb/s IB.

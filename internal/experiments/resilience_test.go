@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"autopipe/internal/fault"
+)
+
+// TestResilienceSweep pins the sweep's shape claims: every scenario
+// completes all iterations, each fault class triggers its healing mechanism
+// (retry, live re-plan, depth-reducing recovery), downtime only ever costs
+// throughput, and — the faithfulness pin — every scenario ends on the same
+// training loss, because retries, re-plans, and checkpoint round trips must
+// not change what the model learns.
+func TestResilienceSweep(t *testing.T) {
+	e := DefaultEnv()
+	rows, table, err := e.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 built-in scenarios", len(rows))
+	}
+	byName := map[string]ResilienceRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		if r.Iters != resilienceSteps {
+			t.Errorf("%s: completed %d iters, want %d", r.Scenario, r.Iters, resilienceSteps)
+		}
+	}
+
+	clean := byName["clean"]
+	if clean.Retries != 0 || clean.Recoveries != 0 || clean.FinalDepth != 3 {
+		t.Errorf("clean scenario healed something: %+v", clean)
+	}
+	if tr := byName["transient-drop"]; tr.Retries == 0 {
+		t.Errorf("transient-drop: no retry recorded: %+v", tr)
+	}
+	if st := byName["straggler"]; st.Replans == 0 || st.FinalDepth != 3 {
+		t.Errorf("straggler: want live re-plan at full depth: %+v", st)
+	}
+	cr := byName["device-crash"]
+	if cr.Recoveries == 0 || cr.FinalDepth != 2 {
+		t.Errorf("device-crash: want depth-reducing recovery: %+v", cr)
+	}
+	if cr.Downtime <= 0 {
+		t.Errorf("device-crash: downtime = %g, want > 0", cr.Downtime)
+	}
+
+	for _, r := range rows {
+		if r.Scenario == "clean" {
+			continue
+		}
+		if r.Throughput >= clean.Throughput {
+			t.Errorf("%s: throughput %.2f not below clean %.2f — faults were free", r.Scenario, r.Throughput, clean.Throughput)
+		}
+		// A post-crash re-partition reorders float additions, so allow
+		// rounding noise but nothing that could hide a semantic change.
+		if math.Abs(r.FinalLoss-clean.FinalLoss) > 1e-9 {
+			t.Errorf("%s: final loss %v differs from clean %v — recovery changed training", r.Scenario, r.FinalLoss, clean.FinalLoss)
+		}
+	}
+}
+
+// TestResilienceCustomScenario: Env.Faults appends a fifth row carrying the
+// plan's name.
+func TestResilienceCustomScenario(t *testing.T) {
+	e := DefaultEnv()
+	e.Faults = &fault.Plan{Name: "extra", Faults: []fault.Fault{
+		{Kind: fault.Straggler, At: 0.1, Duration: 0.1, Device: 0, Factor: 1.2},
+	}}
+	rows, _, err := e.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[4].Scenario != "extra" {
+		t.Fatalf("custom scenario missing: %+v", rows)
+	}
+	if rows[4].Iters != resilienceSteps {
+		t.Errorf("custom scenario completed %d iters", rows[4].Iters)
+	}
+}

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+
+	"autopipe/internal/errdefs"
+)
+
+// The typed failure values the executor returns when a fault terminates an
+// execution. Each unwraps to its errdefs sentinel, so callers dispatch
+// coarsely with errors.Is and extract the failure site with errors.As:
+//
+//	var lost *fault.DeviceLostError
+//	if errors.As(err, &lost) { replanWithout(lost.Device) }
+
+// DeviceLostError reports a permanent device loss (a device-crash fault).
+type DeviceLostError struct {
+	// Device is the physical device id.
+	Device int
+	// At is the absolute time the device died.
+	At float64
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("%v: device %d at t=%.6gs", errdefs.ErrDeviceLost, e.Device, e.At)
+}
+
+// Unwrap makes errors.Is(err, errdefs.ErrDeviceLost) true.
+func (e *DeviceLostError) Unwrap() error { return errdefs.ErrDeviceLost }
+
+// LinkDownError reports a permanently failed link (a link-flap fault with no
+// duration).
+type LinkDownError struct {
+	// From and To are the physical endpoint devices.
+	From, To int
+	// At is the absolute time the failure was hit.
+	At float64
+}
+
+func (e *LinkDownError) Error() string {
+	return fmt.Sprintf("%v: link %d->%d at t=%.6gs", errdefs.ErrLinkDown, e.From, e.To, e.At)
+}
+
+// Unwrap makes errors.Is(err, errdefs.ErrLinkDown) true.
+func (e *LinkDownError) Unwrap() error { return errdefs.ErrLinkDown }
+
+// TransientError reports a dropped message (a msg-drop fault). The operation
+// is safe to retry.
+type TransientError struct {
+	// From and To are the physical endpoint devices.
+	From, To int
+	// At is the absolute time of the dropped send attempt.
+	At float64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("%v: message dropped on link %d->%d at t=%.6gs", errdefs.ErrTransient, e.From, e.To, e.At)
+}
+
+// Unwrap makes errors.Is(err, errdefs.ErrTransient) true.
+func (e *TransientError) Unwrap() error { return errdefs.ErrTransient }
+
+// OOMError reports an injected out-of-memory failure.
+type OOMError struct {
+	// Device is the physical device id.
+	Device int
+	// At is the absolute launch time of the failing operation.
+	At float64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("%v: injected OOM on device %d at t=%.6gs", errdefs.ErrOOM, e.Device, e.At)
+}
+
+// Unwrap makes errors.Is(err, errdefs.ErrOOM) true.
+func (e *OOMError) Unwrap() error { return errdefs.ErrOOM }

@@ -1,0 +1,209 @@
+// Package fault is the deterministic fault-injection engine of the
+// reproduction: a seedable fault-plan DSL (stragglers, link degradation and
+// flaps, transient message drops, permanent device crashes, injected OOM)
+// and an Injector that the discrete-event executor (package exec) consults as
+// timed events during execution.
+//
+// Real 16-GPU testbeds like the paper's RTX 3090 + InfiniBand cluster see
+// exactly these failures; instead of silently producing wrong timings, the
+// executor surfaces them as typed errors (errdefs.ErrDeviceLost, ErrLinkDown,
+// ErrTransient, ErrOOM) that the self-healing training driver (package train)
+// dispatches on with errors.Is / errors.As: transient faults retry with
+// capped backoff, sustained slowdowns trigger re-profiling and a live
+// re-plan, and permanent losses trigger checkpoint → re-partition → resume.
+//
+// Determinism is a design requirement, not an accident: a fault plan plus its
+// seed fully determines every injection decision (probabilistic drops are
+// resolved by a splitmix64 hash of the seed and the message identity), so a
+// recovery trajectory replays byte-for-byte.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"autopipe/internal/errdefs"
+)
+
+// Kind names a fault class of the DSL.
+type Kind string
+
+const (
+	// Straggler multiplies a device's compute times by Factor (>= 1) while
+	// active — a thermally throttled or contended GPU.
+	Straggler Kind = "straggler"
+	// LinkDegrade multiplies a link's bandwidth by Factor (in (0,1)) while
+	// active — a congested or renegotiated-down interconnect.
+	LinkDegrade Kind = "link-degrade"
+	// LinkFlap makes a link unusable during its window: messages queue until
+	// the flap ends. Duration 0 means the link is permanently down, which
+	// surfaces errdefs.ErrLinkDown.
+	LinkFlap Kind = "link-flap"
+	// MsgDrop drops message-send attempts on a link: the first Count attempts
+	// at or after At fail with errdefs.ErrTransient (or, with Prob set, each
+	// attempt in the window fails with seeded probability Prob).
+	MsgDrop Kind = "msg-drop"
+	// DeviceCrash permanently kills a device at At: any operation launched on
+	// it afterwards fails with errdefs.ErrDeviceLost.
+	DeviceCrash Kind = "device-crash"
+	// DeviceOOM injects one out-of-memory failure: the first operation
+	// launched on the device inside the window fails with errdefs.ErrOOM.
+	DeviceOOM Kind = "oom"
+)
+
+// Fault is one timed event of a fault plan. Times are absolute seconds on the
+// simulated cluster clock; device and link ids are physical (the executor's
+// Config.DeviceMap translates schedule indices when a pipeline no longer
+// occupies devices 0..p-1).
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// At is the activation time in seconds.
+	At float64 `json:"at"`
+	// Duration is the active window in seconds; 0 means permanent (from At
+	// onwards). DeviceCrash is always permanent and must leave it 0.
+	Duration float64 `json:"duration,omitempty"`
+	// Device is the target of straggler, device-crash, and oom faults.
+	Device int `json:"device,omitempty"`
+	// From and To name the link of link-degrade, link-flap, and msg-drop
+	// faults. Link faults are bidirectional: they apply to the unordered
+	// device pair.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Factor is the straggler compute multiplier (>= 1) or the link-degrade
+	// bandwidth multiplier (in (0,1)).
+	Factor float64 `json:"factor,omitempty"`
+	// Count is the number of attempts a msg-drop fault consumes (default 1
+	// when Prob is 0).
+	Count int `json:"count,omitempty"`
+	// Prob, if positive, makes a msg-drop fault probabilistic: each send
+	// attempt in the window drops with this probability, resolved
+	// deterministically from the plan seed and the message identity.
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// active reports whether the fault's window covers time at.
+func (f *Fault) active(at float64) bool {
+	return at >= f.At && (f.Duration <= 0 || at < f.At+f.Duration)
+}
+
+// onLink reports whether the fault targets the unordered link {a, b}.
+func (f *Fault) onLink(a, b int) bool {
+	return (f.From == a && f.To == b) || (f.From == b && f.To == a)
+}
+
+// validate reports the first structural problem with the fault.
+func (f *Fault) validate(i int) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: fault %d (%s): %s", errdefs.ErrBadConfig, i, f.Kind, fmt.Sprintf(format, args...))
+	}
+	if f.At < 0 {
+		return bad("negative activation time %g", f.At)
+	}
+	if f.Duration < 0 {
+		return bad("negative duration %g", f.Duration)
+	}
+	switch f.Kind {
+	case Straggler:
+		if f.Device < 0 {
+			return bad("negative device %d", f.Device)
+		}
+		if f.Factor < 1 {
+			return bad("compute factor %g must be >= 1", f.Factor)
+		}
+	case LinkDegrade:
+		if f.From < 0 || f.To < 0 || f.From == f.To {
+			return bad("bad link %d->%d", f.From, f.To)
+		}
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return bad("bandwidth factor %g must be in (0,1)", f.Factor)
+		}
+	case LinkFlap:
+		if f.From < 0 || f.To < 0 || f.From == f.To {
+			return bad("bad link %d->%d", f.From, f.To)
+		}
+	case MsgDrop:
+		if f.From < 0 || f.To < 0 || f.From == f.To {
+			return bad("bad link %d->%d", f.From, f.To)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return bad("drop probability %g out of [0,1]", f.Prob)
+		}
+		if f.Count < 0 {
+			return bad("negative drop count %d", f.Count)
+		}
+		if f.Prob > 0 && f.Count > 0 {
+			return bad("count and prob are mutually exclusive")
+		}
+	case DeviceCrash:
+		if f.Device < 0 {
+			return bad("negative device %d", f.Device)
+		}
+		if f.Duration != 0 {
+			return bad("a crash is permanent; duration must be 0, got %g", f.Duration)
+		}
+	case DeviceOOM:
+		if f.Device < 0 {
+			return bad("negative device %d", f.Device)
+		}
+	default:
+		return bad("unknown kind")
+	}
+	return nil
+}
+
+// Plan is a complete, seedable fault plan.
+type Plan struct {
+	// Name labels the plan in logs and reports.
+	Name string `json:"name,omitempty"`
+	// Seed resolves every probabilistic decision (msg-drop Prob); two
+	// injectors built from the same plan make identical decisions.
+	Seed uint64 `json:"seed,omitempty"`
+	// Faults is the event list; order is irrelevant (activation is by time).
+	Faults []Fault `json:"faults"`
+}
+
+// Validate reports the first structural problem with the plan. Errors wrap
+// errdefs.ErrBadConfig.
+func (p *Plan) Validate() error {
+	for i := range p.Faults {
+		if err := p.Faults[i].validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON-encoded fault plan. Unknown fields are
+// rejected so a typoed plan fails loudly instead of silently injecting
+// nothing. Errors wrap errdefs.ErrBadConfig.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: fault: parse plan: %v", errdefs.ErrBadConfig, err)
+	}
+	// Trailing garbage after the document is a malformed plan too.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: fault: trailing data after plan document", errdefs.ErrBadConfig)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a fault plan from a JSON file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return p, nil
+}

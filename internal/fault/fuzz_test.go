@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"autopipe/internal/errdefs"
+)
+
+// FuzzParsePlan drives the fault-plan parser with arbitrary bytes: it must
+// never panic, and every accepted plan must validate cleanly, round-trip
+// through an injector without panicking, and reject nothing it just accepted.
+// Run with `go test -fuzz=FuzzParsePlan ./internal/fault`.
+func FuzzParsePlan(f *testing.F) {
+	f.Add([]byte(`{"faults":[]}`))
+	f.Add([]byte(`{"name":"x","seed":3,"faults":[{"kind":"straggler","at":1,"duration":2,"device":0,"factor":1.5}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"msg-drop","at":0,"from":0,"to":1,"prob":0.25}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"device-crash","at":9,"device":3},{"kind":"link-flap","at":1,"from":0,"to":1}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"oom","at":0,"device":0},{"kind":"link-degrade","at":0,"from":1,"to":2,"factor":0.5}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"faults":[]}{"faults":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("non-nil plan returned with an error")
+			}
+			if !errors.Is(err, errdefs.ErrBadConfig) {
+				t.Fatalf("parse error does not wrap ErrBadConfig: %v", err)
+			}
+			return
+		}
+		// An accepted plan must re-validate and build a working injector.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails Validate: %v", err)
+		}
+		in := New(p, nil)
+		for _, at := range []float64{0, 1, 1e6} {
+			in.ComputeScale(0, at)
+			in.LinkFactor(0, 1, at)
+			in.LinkBlocked(0, 1, at)
+			in.DropAttempt(0, 1, at, 7)
+			in.Crashed(0, at)
+			in.OOMAt(0, at)
+		}
+	})
+}

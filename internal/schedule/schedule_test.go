@@ -195,6 +195,80 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestValidateTruncationAndDuplication: the corruption modes a fault-injected
+// executor can feed back — dropped trailing ops and replayed ops — are caught
+// by credit accounting, including the case where a duplicate exactly masks a
+// truncation in op count.
+func TestValidateTruncationAndDuplication(t *testing.T) {
+	// Truncated tail: the cooldown backward is missing.
+	s, _ := OneFOneB(2, 3)
+	s.Ops[1] = s.Ops[1][:len(s.Ops[1])-1]
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted a truncated op list")
+	}
+
+	// Duplicated op: one forward appears twice, credit 2.
+	s, _ = OneFOneB(2, 3)
+	s.Ops[0] = append(s.Ops[0], s.Ops[0][0])
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted a duplicated op")
+	}
+
+	// Duplicate masking a truncation: op count is unchanged but one
+	// micro-batch runs twice and another never runs.
+	s, _ = OneFOneB(2, 3)
+	for i, op := range s.Ops[0] {
+		if op.Kind == Fwd && op.Micro == 1 {
+			dup := op
+			dup.Micro = 0
+			s.Ops[0][i] = dup
+			break
+		}
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted a duplicate that masks a missing op")
+	}
+
+	// Sliced halves must both be present: dropping one half leaves 0.5
+	// forward credit.
+	s, _ = Sliced(2, 4, 1)
+	for d, ops := range s.Ops {
+		for i, op := range ops {
+			if op.Half == 0 {
+				s.Ops[d] = append(ops[:i:i], ops[i+1:]...)
+				if err := s.Validate(); err == nil {
+					t.Error("validate accepted a missing forward half")
+				}
+				break
+			}
+		}
+	}
+
+	// A sliced backward is structurally invalid.
+	s, _ = OneFOneB(2, 2)
+	for i, op := range s.Ops[0] {
+		if op.Kind == Bwd {
+			s.Ops[0][i].Half = 0
+			break
+		}
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted a sliced backward")
+	}
+
+	// DeviceOf truncation and degenerate shapes.
+	s, _ = OneFOneB(2, 2)
+	s.DeviceOf = s.DeviceOf[:1]
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted a truncated DeviceOf")
+	}
+	s, _ = OneFOneB(2, 2)
+	s.Devices = 0
+	if err := s.Validate(); err == nil {
+		t.Error("validate accepted zero devices")
+	}
+}
+
 func TestSchedulesAlwaysValidate(t *testing.T) {
 	prop := func(pRaw, mRaw, nRaw uint8) bool {
 		p := 1 + int(pRaw)%12

@@ -1,0 +1,82 @@
+package train
+
+import (
+	"fmt"
+
+	"autopipe/internal/nn"
+	"autopipe/internal/tensor"
+)
+
+// Checkpoint is a full training-state snapshot: every parameter tensor plus
+// the Adam step count and moment estimates, captured by position in the
+// parameter list. Because the planner's block array and the module array
+// index the same positions regardless of where the pipeline is cut, a
+// checkpoint taken under one partition restores cleanly into a model cut at
+// completely different stage bounds — which is exactly what the self-healing
+// driver does when a device dies and the survivors get a shallower plan.
+type Checkpoint struct {
+	// Step is the last completed training iteration.
+	Step int
+	// Weights holds a deep copy of every parameter tensor, in params order.
+	Weights []*tensor.Tensor
+	// AdamT, M, V are the optimizer state (see Adam.Moments).
+	AdamT int
+	M, V  []*tensor.Tensor
+}
+
+// Snapshot captures the model and optimizer state after training step `step`.
+// A nil opt checkpoints weights only.
+func Snapshot(step int, params []*nn.Param, opt *Adam) *Checkpoint {
+	ck := &Checkpoint{Step: step, Weights: make([]*tensor.Tensor, len(params))}
+	for i, p := range params {
+		ck.Weights[i] = p.W.Clone()
+	}
+	if opt != nil {
+		ck.AdamT, ck.M, ck.V = opt.Moments(params)
+	}
+	return ck
+}
+
+// Restore loads the checkpoint into params (matched by position) and, when
+// opt is non-nil, into the optimizer. Gradients are zeroed: a restore always
+// lands at a step boundary.
+func (ck *Checkpoint) Restore(params []*nn.Param, opt *Adam) error {
+	if len(params) != len(ck.Weights) {
+		return fmt.Errorf("train: checkpoint has %d tensors, model has %d params", len(ck.Weights), len(params))
+	}
+	for i, p := range params {
+		if p.W.Size() != ck.Weights[i].Size() {
+			return fmt.Errorf("train: checkpoint tensor %d size %d does not match param %s size %d",
+				i, ck.Weights[i].Size(), p.Name, p.W.Size())
+		}
+		copy(p.W.Data, ck.Weights[i].Data)
+	}
+	nn.ZeroGrads(params)
+	if opt != nil {
+		if err := opt.SetMoments(params, ck.AdamT, ck.M, ck.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes is the serialized size of the checkpoint at float64 precision —
+// the payload the driver charges against the checkpoint bandwidth when it
+// models save/restore latency.
+func (ck *Checkpoint) SizeBytes() int64 {
+	var n int64
+	for _, w := range ck.Weights {
+		n += int64(w.Size())
+	}
+	for _, m := range ck.M {
+		if m != nil {
+			n += int64(m.Size())
+		}
+	}
+	for _, v := range ck.V {
+		if v != nil {
+			n += int64(v.Size())
+		}
+	}
+	return n * 8
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -12,6 +12,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint builds autopipelint and runs it twice: as a go vet -vettool over every
+# package (simclock, errsentinel, ctxspawn — the determinism, error, and
+# concurrency invariants, DESIGN.md §11), and in -testdata mode (scheddata)
+# over the checked-in schedule goldens, partition plans, and fault plans.
+lint:
+	$(GO) build -o bin/autopipelint ./cmd/autopipelint
+	$(GO) vet -vettool=$(abspath bin/autopipelint) ./...
+	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata
 
 # -short skips the Fig. 12 wall-clock-ordering test, whose relative search
 # times the race detector's instrumentation distorts (it fails under -race
@@ -47,11 +56,12 @@ fmt-check:
 # tier1 is the repository's baseline gate (ROADMAP.md).
 tier1: build test
 
-# verify runs everything CI would: formatting, static analysis, the full
-# test suite under the race detector, the deep race pass over the planner
-# engine, a one-shot benchmark smoke, the fault-injection smoke, and the
-# tier-1 gate.
-verify: fmt-check vet tier1 race race-core bench-smoke fault-smoke
+# verify runs everything CI would: formatting, static analysis (go vet plus
+# the autopipelint invariant suite), the full test suite under the race
+# detector, the deep race pass over the planner engine, a one-shot benchmark
+# smoke, the fault-injection smoke, and the tier-1 gate.
+verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

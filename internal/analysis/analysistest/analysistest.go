@@ -1,0 +1,150 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want "regexp"` comments, the x/tools
+// analysistest convention: every diagnostic must be expected on its exact
+// line, and every expectation must be matched. Fixtures live under
+// internal/analysis/testdata/src/<name> and may import only the standard
+// library (they are typechecked from source, offline).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis"
+)
+
+// wantRE extracts the quoted regexps of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir, applies the analyzer, and
+// reports every mismatch between diagnostics and want-comments to t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, expects, err := load(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s does not typecheck: %v", dir, err)
+	}
+
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !consume(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// Load typechecks the fixture package rooted at dir under the given import
+// path and returns the analyzer's raw diagnostics, ignoring want-comments.
+// Scope-sensitivity tests use it to run an analyzer against a package path
+// outside its scope.
+func Load(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, _, err := load(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s does not typecheck: %v", dir, err)
+	}
+	return analysis.RunAnalyzers([]*analysis.Analyzer{a}, fset, files, pkg, info)
+}
+
+func consume(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func load(fset *token.FileSet, dir string) ([]*ast.File, []*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				quoted := wantRE.FindAllString(text[len("want "):], -1)
+				if len(quoted) == 0 {
+					return nil, nil, fmt.Errorf("%s: malformed want comment: %s", fset.Position(c.Pos()), c.Text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s: bad want pattern %s: %v", fset.Position(c.Pos()), q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s: bad want regexp %s: %v", fset.Position(c.Pos()), q, err)
+					}
+					pos := fset.Position(c.Pos())
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+	})
+	return files, expects, nil
+}

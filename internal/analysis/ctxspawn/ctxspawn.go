@@ -1,0 +1,157 @@
+// Package ctxspawn enforces cancellation discipline on the goroutines the
+// planner's parallel search (internal/core) and the training driver
+// (internal/train) spawn: every `go func` literal must be cancellable — it
+// either takes a context.Context, references one from its environment, or
+// references a `chan struct{}` done/abort channel. The plan-space search
+// fans out workers per wave and the pipeline executor runs one goroutine per
+// stage; a goroutine with no cancellation path outlives a failed or
+// abandoned run, keeps mutating shared schedule state, and turns a clean
+// fault-injection abort into a hang or a data race.
+//
+// Also flagged: sync.WaitGroup.Add called inside the spawned goroutine
+// itself. If the spawner reaches wg.Wait before the scheduler runs the new
+// goroutine, Wait observes a zero counter and returns while work is still
+// in flight — the canonical lost-goroutine race. Add must happen in the
+// spawner, before the `go` statement.
+//
+// Escape hatch: `//lint:allow ctxspawn <reason>` on the `go` statement (or
+// the line above) for fire-and-forget goroutines that provably terminate.
+package ctxspawn
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"autopipe/internal/analysis"
+)
+
+// DefaultScope lists the packages whose goroutines must be cancellable.
+var DefaultScope = []string{
+	"autopipe/internal/core",
+	"autopipe/internal/train",
+}
+
+// Analyzer checks the production packages.
+var Analyzer = New(DefaultScope...)
+
+// New returns a ctxspawn analyzer scoped to the given package paths.
+func New(scope ...string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "ctxspawn",
+		Doc:  "require goroutines in core and train to observe a context or done channel; forbid WaitGroup.Add inside the goroutine",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			if pass.InTestFile(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				gostmt, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(gostmt.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					// `go method()` / `go pkg.F()`: cancellation lives in the
+					// callee; the callee's own body is checked where defined.
+					return true
+				}
+				checkGoroutine(pass, gostmt, lit)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkGoroutine(pass *analysis.Pass, gostmt *ast.GoStmt, lit *ast.FuncLit) {
+	cancellable := false
+	// A context.Context parameter (or done channel parameter) counts.
+	for _, field := range lit.Type.Params.List {
+		if t := pass.Info.TypeOf(field.Type); isCancelSignal(t) {
+			cancellable = true
+		}
+	}
+	// Or a context / chan struct{} passed as an argument at the spawn site.
+	for _, arg := range gostmt.Call.Args {
+		if isCancelSignal(pass.Info.TypeOf(arg)) {
+			cancellable = true
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			// Or a captured context / done channel used anywhere in the body.
+			if obj := pass.Info.Uses[n]; obj != nil && isCancelSignal(obj.Type()) {
+				cancellable = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupAdd(pass, n) {
+				pass.Reportf(n.Pos(),
+					"sync.WaitGroup.Add inside the spawned goroutine races with Wait; call Add in the spawner before the go statement")
+			}
+		}
+		return true
+	})
+	if !cancellable {
+		pass.Reportf(gostmt.Pos(),
+			"goroutine in %s has no cancellation path: take a context.Context or select on a done channel so an aborted run can reclaim it",
+			pass.Pkg.Path())
+	}
+}
+
+// isCancelSignal reports whether t is a context.Context or a receivable
+// chan struct{} — the two cancellation idioms the repository uses.
+func isCancelSignal(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	if ch, ok := t.Underlying().(*types.Chan); ok && ch.Dir() != types.SendOnly {
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroupAdd(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Add" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

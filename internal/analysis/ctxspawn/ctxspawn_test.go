@@ -1,0 +1,25 @@
+package ctxspawn
+
+import (
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+// The fixture is typechecked under the import path "ctxspawn", so the
+// analyzer is scoped to that path instead of core and train.
+func TestCtxspawn(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/ctxspawn", New("ctxspawn"))
+}
+
+// TestOutOfScope: the same fixture outside the scope must be silent.
+func TestOutOfScope(t *testing.T) {
+	a := New("autopipe/internal/core", "autopipe/internal/train")
+	diags, err := analysistest.Load(t, "../testdata/src/ctxspawn", "someotherpkg", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics out of scope, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,33 @@
+package errsentinel
+
+import (
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+// The fixture is typechecked under the import path "errsentinel", so the
+// wrap checks are scoped to that path. The sentinel-comparison check is
+// global and would fire regardless.
+func TestErrsentinel(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/errsentinel", New("errsentinel"))
+}
+
+// TestWrapChecksScoped: outside the scope only the comparison diagnostics
+// remain; the fmt.Errorf / errors.New wrap checks go quiet.
+func TestWrapChecksScoped(t *testing.T) {
+	a := New("autopipe/internal/core")
+	diags, err := analysistest.Load(t, "../testdata/src/errsentinel", "someotherpkg", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "errors.Is") {
+			t.Errorf("out-of-scope package produced a wrap diagnostic: %s", d)
+		}
+	}
+	if len(diags) != 2 {
+		t.Fatalf("expected exactly the 2 comparison diagnostics out of scope, got %d: %v", len(diags), diags)
+	}
+}

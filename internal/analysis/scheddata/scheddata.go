@@ -1,0 +1,185 @@
+// Package scheddata validates the repository's checked-in JSON testdata —
+// schedules, partition plans, and fault plans — before any test consumes
+// them. The golden files pin paper-level claims (1F1B bubble counts, sliced
+// warm-up behaviour, recovery trajectories); a malformed or statically
+// deadlocked schedule in testdata would either fail a test with an opaque
+// executor hang or, worse, pin a golden to a schedule that could never run.
+//
+// Unlike the other autopipelint analyzers, scheddata is not a go/analysis
+// pass over Go syntax: it is a well-formedness sweep over data files, run as
+// `autopipelint -testdata <paths...>`. A file is classified by its top-level
+// JSON keys:
+//
+//   - "ops" (+ "devices", "numMicro"): a schedule document. It must parse
+//     (schedule.ParseJSON: unknown fields, duplicate ops, dangling stage
+//     refs, and credit violations all fail) and must pass the static
+//     deadlock check (schedule.CheckDeadlock: a cycle in the dependency
+//     graph means the executor would stall with every device blocked).
+//   - "faults": a fault plan; it must satisfy fault.Parse's validation.
+//   - "bounds" (+ "blocks", "stageDevices"): a partition-plan document;
+//     bounds must form a valid partition of the block count and the device
+//     counts must be positive.
+//   - "traceEvents" or anything else: not ours — skipped, not failed, so
+//     Chrome traces and other goldens can live beside schedule fixtures.
+package scheddata
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"autopipe/internal/analysis"
+	"autopipe/internal/fault"
+	"autopipe/internal/partition"
+	"autopipe/internal/schedule"
+)
+
+// Name is the analyzer name used in diagnostics.
+const Name = "scheddata"
+
+// planDoc mirrors testdata/plans/*.json: the on-disk form of a partition
+// decision (planner name, block count, stage bounds, devices per stage).
+type planDoc struct {
+	Planner      string `json:"planner"`
+	Blocks       int    `json:"blocks"`
+	Bounds       []int  `json:"bounds"`
+	StageDevices []int  `json:"stageDevices"`
+	NumSliced    int    `json:"numSliced"`
+}
+
+// CheckPaths validates every .json file under the given paths (files or
+// directories, walked recursively) and returns the findings.
+func CheckPaths(paths []string) ([]analysis.Diagnostic, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".json") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		ds, err := CheckFile(f)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}
+
+// CheckFile validates one JSON file, returning one diagnostic per problem.
+// Files that are not schedule/fault/plan documents yield nothing.
+func CheckFile(path string) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		// Not a JSON object (array, scalar, or syntactically broken). Only
+		// broken files are findings; non-object JSON is simply not ours.
+		if _, arrErr := probeNonObject(data); arrErr == nil {
+			return nil, nil
+		}
+		return []analysis.Diagnostic{diag(path, "not valid JSON: %v", err)}, nil
+	}
+
+	switch {
+	case has(probe, "ops"):
+		return checkSchedule(path, data), nil
+	case has(probe, "faults"):
+		return checkFaults(path, data), nil
+	case has(probe, "bounds") && has(probe, "stageDevices"):
+		return checkPlan(path, data), nil
+	default:
+		return nil, nil // a trace golden, metrics dump, or foreign file
+	}
+}
+
+func probeNonObject(data []byte) (any, error) {
+	var v any
+	err := json.Unmarshal(data, &v)
+	return v, err
+}
+
+func has(m map[string]json.RawMessage, key string) bool {
+	_, ok := m[key]
+	return ok
+}
+
+func checkSchedule(path string, data []byte) []analysis.Diagnostic {
+	s, err := schedule.ParseJSON(data)
+	if err != nil {
+		return []analysis.Diagnostic{diag(path, "malformed schedule: %v", err)}
+	}
+	if err := s.CheckDeadlock(); err != nil {
+		return []analysis.Diagnostic{diag(path, "schedule %q: %v", s.Name, err)}
+	}
+	return nil
+}
+
+func checkFaults(path string, data []byte) []analysis.Diagnostic {
+	if _, err := fault.Parse(data); err != nil {
+		return []analysis.Diagnostic{diag(path, "malformed fault plan: %v", err)}
+	}
+	return nil
+}
+
+func checkPlan(path string, data []byte) []analysis.Diagnostic {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var doc planDoc
+	if err := dec.Decode(&doc); err != nil {
+		return []analysis.Diagnostic{diag(path, "malformed plan document: %v", err)}
+	}
+	var diags []analysis.Diagnostic
+	if doc.Blocks <= 0 {
+		diags = append(diags, diag(path, "plan has non-positive block count %d", doc.Blocks))
+	}
+	if _, err := partition.New(doc.Bounds, doc.Blocks); err != nil {
+		diags = append(diags, diag(path, "plan bounds invalid: %v", err))
+	}
+	if want := len(doc.Bounds) - 1; len(doc.StageDevices) != want {
+		diags = append(diags, diag(path, "plan has %d stageDevices entries for %d stages", len(doc.StageDevices), want))
+	}
+	for i, d := range doc.StageDevices {
+		if d <= 0 {
+			diags = append(diags, diag(path, "plan stage %d has non-positive device count %d", i, d))
+		}
+	}
+	if doc.NumSliced < 0 {
+		diags = append(diags, diag(path, "plan has negative numSliced %d", doc.NumSliced))
+	}
+	return diags
+}
+
+func diag(path, format string, args ...any) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: path, Line: 1},
+		Analyzer: Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

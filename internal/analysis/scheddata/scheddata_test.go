@@ -1,0 +1,99 @@
+package scheddata
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../testdata/json"
+
+func check(t *testing.T, name string) []string {
+	t.Helper()
+	diags, err := CheckFile(filepath.Join(fixtures, name))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	msgs := make([]string, len(diags))
+	for i, d := range diags {
+		msgs[i] = d.Message
+	}
+	return msgs
+}
+
+func TestValidFilesAreClean(t *testing.T) {
+	for _, name := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json"} {
+		if msgs := check(t, name); len(msgs) != 0 {
+			t.Errorf("%s: unexpected findings: %v", name, msgs)
+		}
+	}
+}
+
+func TestScheduleCycleIsStaticDeadlock(t *testing.T) {
+	msgs := check(t, "sched_cycle.json")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "deadlock") {
+		t.Fatalf("want one deadlock finding, got %v", msgs)
+	}
+}
+
+func TestDuplicateOpIsMalformed(t *testing.T) {
+	msgs := check(t, "sched_dup.json")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "malformed schedule") {
+		t.Fatalf("want one malformed-schedule finding, got %v", msgs)
+	}
+}
+
+func TestBadFaultPlan(t *testing.T) {
+	msgs := check(t, "faults_bad.json")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "malformed fault plan") {
+		t.Fatalf("want one malformed-fault-plan finding, got %v", msgs)
+	}
+}
+
+func TestBadPlanDoc(t *testing.T) {
+	msgs := check(t, "plan_bad.json")
+	if len(msgs) < 2 {
+		t.Fatalf("want findings for bad bounds, stage count, and numSliced; got %v", msgs)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"bounds", "stageDevices", "numSliced"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding mentioning %q in %v", want, msgs)
+		}
+	}
+}
+
+// TestCheckPaths sweeps the whole fixture directory: every bad file is
+// found, every good or foreign file is passed over.
+func TestCheckPaths(t *testing.T) {
+	diags, err := CheckPaths([]string{fixtures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]bool{}
+	for _, d := range diags {
+		bad[filepath.Base(d.Pos.Filename)] = true
+	}
+	for _, want := range []string{"sched_cycle.json", "sched_dup.json", "faults_bad.json", "plan_bad.json"} {
+		if !bad[want] {
+			t.Errorf("sweep missed %s (findings: %v)", want, diags)
+		}
+	}
+	for _, clean := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json"} {
+		if bad[clean] {
+			t.Errorf("sweep flagged clean file %s", clean)
+		}
+	}
+}
+
+// TestGoldenTestdataIsClean pins the repository's real checked-in testdata:
+// the schedule goldens, plan docs, and fault plans must all validate.
+func TestGoldenTestdataIsClean(t *testing.T) {
+	diags, err := CheckPaths([]string{"../../../testdata"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("checked-in testdata has findings: %v", diags)
+	}
+}

@@ -1,0 +1,26 @@
+package simclock
+
+import (
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+// The fixture package is typechecked under the import path "simclock", so
+// the analyzer is scoped to that path instead of the production packages.
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/simclock", New("simclock"))
+}
+
+// TestOutOfScope ensures the analyzer is silent on packages outside its
+// scope: the same fixture, full of violations, must produce no findings.
+func TestOutOfScope(t *testing.T) {
+	a := New("autopipe/internal/sim")
+	diags, err := analysistest.Load(t, "../testdata/src/simclock", "someotherpkg", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics out of scope, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,61 @@
+// Package ctxspawn is a fixture for the ctxspawn analyzer.
+package ctxspawn
+
+import (
+	"context"
+	"sync"
+)
+
+func orphan(results chan<- int) {
+	go func() { // want "no cancellation path"
+		results <- 1
+	}()
+}
+
+func withContext(ctx context.Context, results chan<- int) {
+	go func() {
+		select {
+		case results <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func withContextParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+func withDoneChannel(done chan struct{}, results chan<- int) {
+	go func() {
+		select {
+		case results <- 1:
+		case <-done:
+		}
+	}()
+}
+
+func addInsideGoroutine(ctx context.Context, wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "races with Wait"
+		defer wg.Done()
+		<-ctx.Done()
+	}()
+}
+
+func addBeforeSpawn(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+	}()
+}
+
+// fireAndForget provably terminates; waived at the spawn site.
+func fireAndForget(once *sync.Once) {
+	//lint:allow ctxspawn runs once and returns immediately
+	go func() {
+		once.Do(func() {})
+	}()
+}

@@ -1,0 +1,47 @@
+// Package errsentinel is a fixture for the errsentinel analyzer.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the sanctioned pattern.
+var (
+	ErrBadConfig = errors.New("bad config")
+	ErrOOM       = errors.New("out of memory")
+)
+
+func opaque(n int) error {
+	return fmt.Errorf("bad stage count %d", n) // want "fmt.Errorf without %w"
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("%w: bad stage count %d", ErrBadConfig, n)
+}
+
+func adHoc() error {
+	return errors.New("something broke") // want "errors.New inside a function"
+}
+
+func compared(err error) bool {
+	return err == ErrBadConfig // want "use errors.Is"
+}
+
+func comparedFlipped(err error) bool {
+	return ErrOOM != err // want "use errors.Is"
+}
+
+func dispatched(err error) bool {
+	return errors.Is(err, ErrBadConfig)
+}
+
+func nilCheck(err error) bool {
+	return err != nil // nil comparison is fine
+}
+
+// rootCause really is a root error nobody dispatches on; waived explicitly.
+func rootCause() error {
+	//lint:allow errsentinel leaf diagnostic, no caller dispatches on it
+	return fmt.Errorf("unreachable state %d", 42)
+}

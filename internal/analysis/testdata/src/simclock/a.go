@@ -1,0 +1,66 @@
+// Package simclock is a fixture for the simclock analyzer.
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Durations measured for telemetry must not read the clock here.
+func elapsed() time.Duration {
+	start := time.Now()               // want "wall-clock call time.Now"
+	time.Sleep(10 * time.Millisecond) // want "wall-clock call time.Sleep"
+	return time.Since(start)          // want "wall-clock call time.Since"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "global math/rand source"
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // seeded source: fine
+	return r.Float64()
+}
+
+func pureTime(d time.Duration) time.Duration {
+	return d * 2 // duration arithmetic: fine
+}
+
+// progress is the sanctioned exception, waived at the call site.
+func progress() time.Time {
+	//lint:allow simclock CLI progress output, not simulated time
+	return time.Now()
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map-iteration order"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) (keys []string) {
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func valuesSummed(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // accumulation is order-independent: fine
+	}
+	return total
+}
+
+func keysLocal(m map[string]int) int {
+	var scratch []string
+	for k := range m {
+		scratch = append(scratch, k) // never returned: fine
+	}
+	return len(scratch)
+}

@@ -283,7 +283,10 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 	}
 
 	// Seed wave: evaluate every depth's Algorithm 1 seed concurrently.
-	seedStart := time.Now()
+	// Wall-clock telemetry goes through obs.Stopwatch — never time.Now — so
+	// the simclock invariant (deterministic packages read no clock that can
+	// influence a decision) stays machine-checkable.
+	seedSW := obs.NewStopwatch()
 	type seedSlot struct {
 		cand Candidate
 		err  error
@@ -308,7 +311,7 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	seedDur := time.Since(seedStart)
+	seedDur := seedSW.Elapsed()
 	for i, d := range ds {
 		d.tel.SeedTime = seedDur
 		if slots[i].err != nil {
@@ -370,7 +373,7 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 		// pre-adjustment master moves; when the adjustment is a no-op those
 		// are phase B's exact evaluations, collapsing the round's critical
 		// path from two sequential simulations to one.
-		adjustStart := time.Now()
+		adjustSW := obs.NewStopwatch()
 		type spec struct {
 			part partition.Partition
 			m    int
@@ -396,10 +399,10 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		adjustDur := time.Since(adjustStart)
+		adjustDur := adjustSW.Elapsed()
 
 		// Phase B: master-move evaluations, one task per candidate.
-		moveStart := time.Now()
+		moveSW := obs.NewStopwatch()
 		type moveRef struct {
 			x *expansion
 			j int
@@ -420,7 +423,7 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		moveDur := time.Since(moveStart)
+		moveDur := moveSW.Elapsed()
 
 		// Merge: replay every expansion in wave order.
 		for _, x := range exps {
@@ -539,7 +542,7 @@ func PlanClusterOpts(ctx context.Context, mc config.Model, run config.Run, clust
 	if err := run.Validate(); err != nil {
 		return nil, nil, err
 	}
-	start := time.Now()
+	searchSW := obs.NewStopwatch()
 	geom := cost.Geometry{MicroBatch: run.MicroBatch, Checkpoint: run.Checkpoint}
 	bl, err := model.Build(mc, geom, cluster.Device, cluster.Network, model.SubLayer)
 	if err != nil {
@@ -639,7 +642,7 @@ func PlanClusterOpts(ctx context.Context, mc config.Model, run config.Run, clust
 		spec.SliceConverged = true
 	}
 
-	spec.SearchTime = time.Since(start)
+	spec.SearchTime = searchSW.Elapsed()
 	spec.Evaluated = evaluated
 	spec.Accepted = accepted
 	spec.Predicted = best.score

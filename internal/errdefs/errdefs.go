@@ -47,4 +47,11 @@ var (
 	// message). The operation is safe to retry; the self-healing driver does
 	// so with capped exponential backoff.
 	ErrTransient = errors.New("transient communication failure")
+
+	// ErrInternal reports a violated internal invariant: a replayed trace
+	// that leaks activation memory, an out-of-order pipeline message, a
+	// stage that finished without producing its loss. It always indicates a
+	// bug in this repository (or a hand-edited artifact), never bad user
+	// input, so callers should surface it rather than retry or re-plan.
+	ErrInternal = errors.New("internal invariant violated")
 )

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/schedule"
 )
 
@@ -48,7 +49,7 @@ func (l *MemoryLedger) Timeline(s *schedule.Schedule, r *Result) ([][]MemSample,
 	}
 	for d, u := range usage {
 		if u != l.static(d) {
-			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
+			return nil, fmt.Errorf("%w: exec: device %d leaked %d bytes of activations", errdefs.ErrInternal, d, u-l.static(d))
 		}
 	}
 	return out, nil
@@ -73,7 +74,7 @@ func (l *MemoryLedger) PeakUsage(s *schedule.Schedule, r *Result) ([]int64, erro
 	}
 	for d, u := range usage {
 		if u != l.static(d) {
-			return nil, fmt.Errorf("exec: device %d leaked %d bytes of activations", d, u-l.static(d))
+			return nil, fmt.Errorf("%w: exec: device %d leaked %d bytes of activations", errdefs.ErrInternal, d, u-l.static(d))
 		}
 	}
 	return peak, nil
@@ -82,8 +83,8 @@ func (l *MemoryLedger) PeakUsage(s *schedule.Schedule, r *Result) ([]int64, erro
 // events builds the time-sorted alloc/free event stream of the trace.
 func (l *MemoryLedger) events(s *schedule.Schedule, r *Result) ([]event, error) {
 	if len(l.StashBytes) != s.VirtStages {
-		return nil, fmt.Errorf("exec: ledger has %d stage stashes, schedule has %d virtual stages",
-			len(l.StashBytes), s.VirtStages)
+		return nil, fmt.Errorf("%w: exec: ledger has %d stage stashes, schedule has %d virtual stages",
+			errdefs.ErrBadConfig, len(l.StashBytes), s.VirtStages)
 	}
 	var events []event
 	for d, traces := range r.Traces {

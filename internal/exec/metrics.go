@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/obs"
 	"autopipe/internal/schedule"
 )
@@ -119,13 +120,13 @@ func (r *Result) PhaseWindows() [][2]float64 {
 // attributed on the same boundaries the planner reasoned about.
 func (r *Result) MetricsWithWindows(windows [][2]float64) (*Metrics, error) {
 	if len(windows) != len(r.Traces) {
-		return nil, fmt.Errorf("exec: %d phase windows for %d devices", len(windows), len(r.Traces))
+		return nil, fmt.Errorf("%w: exec: %d phase windows for %d devices", errdefs.ErrBadConfig, len(windows), len(r.Traces))
 	}
 	m := &Metrics{IterTime: r.IterTime, Startup: r.Startup}
 	for d, traces := range r.Traces {
 		t1, t2 := windows[d][0], windows[d][1]
 		if t1 < 0 || t2 < t1 || t2 > r.IterTime+1e-12 {
-			return nil, fmt.Errorf("exec: device %d has bad phase window [%g, %g] in makespan %g", d, t1, t2, r.IterTime)
+			return nil, fmt.Errorf("%w: exec: device %d has bad phase window [%g, %g] in makespan %g", errdefs.ErrBadConfig, d, t1, t2, r.IterTime)
 		}
 		dm := DeviceMetrics{Device: d, Busy: r.Busy[d]}
 		// Busy time inside each window; the bubble is the remainder.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/schedule"
 )
 
@@ -260,7 +261,7 @@ func (r *Result) CriticalPath(s *schedule.Schedule) ([]OpTrace, error) {
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("exec: empty trace")
+		return nil, fmt.Errorf("%w: exec: empty trace", errdefs.ErrBadConfig)
 	}
 
 	var rev []OpTrace

@@ -201,7 +201,7 @@ func SimulateProfile(p StageProfile) (*Result, error) {
 			}
 		}
 		if !progressed {
-			return nil, fmt.Errorf("sim: dependency deadlock (internal error)")
+			return nil, fmt.Errorf("%w: sim: dependency deadlock (internal error)", errdefs.ErrDeadlock)
 		}
 	}
 

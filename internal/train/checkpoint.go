@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/nn"
 	"autopipe/internal/tensor"
 )
@@ -42,12 +43,12 @@ func Snapshot(step int, params []*nn.Param, opt *Adam) *Checkpoint {
 // lands at a step boundary.
 func (ck *Checkpoint) Restore(params []*nn.Param, opt *Adam) error {
 	if len(params) != len(ck.Weights) {
-		return fmt.Errorf("train: checkpoint has %d tensors, model has %d params", len(ck.Weights), len(params))
+		return fmt.Errorf("%w: train: checkpoint has %d tensors, model has %d params", errdefs.ErrBadConfig, len(ck.Weights), len(params))
 	}
 	for i, p := range params {
 		if p.W.Size() != ck.Weights[i].Size() {
-			return fmt.Errorf("train: checkpoint tensor %d size %d does not match param %s size %d",
-				i, ck.Weights[i].Size(), p.Name, p.W.Size())
+			return fmt.Errorf("%w: train: checkpoint tensor %d size %d does not match param %s size %d",
+				errdefs.ErrBadConfig, i, ck.Weights[i].Size(), p.Name, p.W.Size())
 		}
 		copy(p.W.Data, ck.Weights[i].Data)
 	}

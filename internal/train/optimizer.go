@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/nn"
 	"autopipe/internal/tensor"
 )
@@ -72,7 +73,7 @@ func (a *Adam) Moments(params []*nn.Param) (t int, m, v []*tensor.Tensor) {
 // start cold, exactly as they were at snapshot time.
 func (a *Adam) SetMoments(params []*nn.Param, t int, m, v []*tensor.Tensor) error {
 	if len(m) != len(params) || len(v) != len(params) {
-		return fmt.Errorf("train: moment count %d/%d does not match %d params", len(m), len(v), len(params))
+		return fmt.Errorf("%w: train: moment count %d/%d does not match %d params", errdefs.ErrBadConfig, len(m), len(v), len(params))
 	}
 	a.t = t
 	a.m = map[*nn.Param]*tensor.Tensor{}
@@ -82,7 +83,7 @@ func (a *Adam) SetMoments(params []*nn.Param, t int, m, v []*tensor.Tensor) erro
 			continue
 		}
 		if m[i].Size() != p.W.Size() || v[i] == nil || v[i].Size() != p.W.Size() {
-			return fmt.Errorf("train: moment %d shape does not match param %s", i, p.Name)
+			return fmt.Errorf("%w: train: moment %d shape does not match param %s", errdefs.ErrBadConfig, i, p.Name)
 		}
 		a.m[p] = m[i].Clone()
 		a.v[p] = v[i].Clone()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/nn"
 	"autopipe/internal/obs"
 	"autopipe/internal/schedule"
@@ -30,12 +31,12 @@ type Pipeline struct {
 // array).
 func NewPipeline(mods []nn.Module, bounds []int) (*Pipeline, error) {
 	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != len(mods) {
-		return nil, fmt.Errorf("train: bounds %v must span [0,%d]", bounds, len(mods))
+		return nil, fmt.Errorf("%w: train: bounds %v must span [0,%d]", errdefs.ErrBadConfig, bounds, len(mods))
 	}
 	p := &Pipeline{Bounds: append([]int(nil), bounds...)}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			return nil, fmt.Errorf("train: empty stage at bound %d: %v", i, bounds)
+			return nil, fmt.Errorf("%w: train: empty stage at bound %d: %v", errdefs.ErrBadConfig, i, bounds)
 		}
 		p.Stages = append(p.Stages, mods[bounds[i-1]:bounds[i]])
 	}
@@ -75,7 +76,7 @@ func (p *Pipeline) Step(micros []Batch, numSliced int, scale float64) (float64, 
 	nStages := len(p.Stages)
 	m := len(micros)
 	if m == 0 {
-		return 0, fmt.Errorf("train: no micro-batches")
+		return 0, fmt.Errorf("%w: train: no micro-batches", errdefs.ErrBadConfig)
 	}
 	var (
 		sched *schedule.Schedule
@@ -137,7 +138,7 @@ func (p *Pipeline) Step(micros []Batch, numSliced int, scale float64) (float64, 
 		select {
 		case loss = <-lossCh:
 		default:
-			return 0, fmt.Errorf("train: last stage produced no loss")
+			return 0, fmt.Errorf("%w: train: last stage produced no loss", errdefs.ErrInternal)
 		}
 	}
 	if p.Obs != nil {
@@ -178,7 +179,7 @@ func (p *Pipeline) runStage(s int, sched *schedule.Schedule, micros []Batch, sca
 		select {
 		case msg := <-ch:
 			if msg.micro != micro || msg.half != half {
-				return nil, fmt.Errorf("out-of-order message: got (µ%d,h%d), want (µ%d,h%d)", msg.micro, msg.half, micro, half)
+				return nil, fmt.Errorf("%w: out-of-order message: got (µ%d,h%d), want (µ%d,h%d)", errdefs.ErrInternal, msg.micro, msg.half, micro, half)
 			}
 			return msg.x, nil
 		case <-abort:
@@ -271,7 +272,7 @@ func (p *Pipeline) runStage(s int, sched *schedule.Schedule, micros []Batch, sca
 				case 2:
 					dx = tensor.ConcatRows(dxParts...)
 				default:
-					return fmt.Errorf("micro %d produced no input gradient", op.Micro)
+					return fmt.Errorf("%w: micro %d produced no input gradient", errdefs.ErrInternal, op.Micro)
 				}
 				bwd[s-1] <- pipeMsg{micro: op.Micro, half: -1, x: dx}
 			}

@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 
+	"autopipe/internal/errdefs"
 	"autopipe/internal/nn"
 	"autopipe/internal/tensor"
 )
@@ -17,7 +18,7 @@ type Batch struct {
 // forwards). The batch size must be even.
 func (b Batch) Split() (Batch, Batch, error) {
 	if b.Inputs.Shape[0]%2 != 0 {
-		return Batch{}, Batch{}, fmt.Errorf("train: cannot slice micro-batch of odd size %d", b.Inputs.Shape[0])
+		return Batch{}, Batch{}, fmt.Errorf("%w: train: cannot slice micro-batch of odd size %d", errdefs.ErrBadConfig, b.Inputs.Shape[0])
 	}
 	half := b.Inputs.Shape[0] / 2
 	ia, ib := b.Inputs.SplitRows(half)

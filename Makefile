@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -14,13 +14,31 @@ vet:
 	$(GO) vet ./...
 
 # lint builds autopipelint and runs it twice: as a go vet -vettool over every
-# package (simclock, errsentinel, ctxspawn — the determinism, error, and
-# concurrency invariants, DESIGN.md §11), and in -testdata mode (scheddata)
-# over the checked-in schedule goldens, partition plans, and fault plans.
+# package (simclock, errsentinel, ctxspawn, locksafe, unitsafe — the
+# determinism, error, concurrency, and dimensional invariants, DESIGN.md
+# §11), and in -testdata mode (scheddata) over the checked-in schedule
+# goldens, partition plans, and fault plans.
 lint:
 	$(GO) build -o bin/autopipelint ./cmd/autopipelint
 	$(GO) vet -vettool=$(abspath bin/autopipelint) ./...
 	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata
+
+# sanitize executes the README quickstart schedules with the runtime
+# happens-before sanitizer on: every op is checked against the dependency
+# graph, the link model, and the activation-memory ledger as it executes.
+# (The exec and train test suites force the sanitizer unconditionally; this
+# target exercises the user-facing -sanitize path.)
+sanitize:
+	$(GO) run ./cmd/pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 -sanitize
+	$(GO) run ./cmd/pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 -schedule sliced -sanitize
+	$(GO) run ./cmd/pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 -faults testdata/faults_basic.json -sanitize
+
+# fuzz-smoke runs each fuzz target briefly: long enough to replay the corpus
+# and explore a little, short enough for every CI run.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=$(FUZZTIME) ./internal/schedule
+	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=$(FUZZTIME) ./internal/fault
 
 # -short skips the Fig. 12 wall-clock-ordering test, whose relative search
 # times the race detector's instrumentation distorts (it fails under -race
@@ -59,8 +77,10 @@ tier1: build test
 # verify runs everything CI would: formatting, static analysis (go vet plus
 # the autopipelint invariant suite), the full test suite under the race
 # detector, the deep race pass over the planner engine, a one-shot benchmark
-# smoke, the fault-injection smoke, and the tier-1 gate.
-verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke
+# smoke, the fault-injection smoke, the sanitized executions, and the tier-1
+# gate. (CI additionally runs fuzz-smoke, kept out of verify so the local
+# gate stays fast.)
+verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke sanitize
 
 clean:
 	$(GO) clean ./...

@@ -41,6 +41,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the plan as JSON to this path")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	ff := cliutil.RegisterFaults(flag.CommandLine)
+	ef := cliutil.RegisterExec(flag.CommandLine)
 	flag.Parse()
 
 	fplan, err := ff.Load()
@@ -98,7 +99,7 @@ func main() {
 		}
 	}
 	if fplan != nil {
-		assessFaults(spec, bl, res, cluster, fplan)
+		assessFaults(spec, bl, res, cluster, fplan, ef.Sanitize)
 	}
 	if *jsonPath != "" {
 		if err := config.Save(*jsonPath, spec); err != nil {
@@ -111,7 +112,7 @@ func main() {
 // assessFaults re-executes the planned schedule under the fault plan and
 // reports the survivor's overhead, or the typed failure if the plan cannot
 // finish an iteration under injection.
-func assessFaults(spec *plan.Spec, bl *model.Blocks, res *plan.Result, cluster config.Cluster, fplan *fault.Plan) {
+func assessFaults(spec *plan.Spec, bl *model.Blocks, res *plan.Result, cluster config.Cluster, fplan *fault.Plan, sanitize bool) {
 	f, b := plan.StageWallTimes(spec, bl)
 	var sched *schedule.Schedule
 	var err error
@@ -129,6 +130,7 @@ func assessFaults(spec *plan.Spec, bl *model.Blocks, res *plan.Result, cluster c
 		CommBytes:      bl.List[0].OutBytes,
 		Network:        cluster.Network,
 		KernelOverhead: cluster.Device.KernelOverhead,
+		Sanitize:       sanitize,
 	}
 	clean, err := exec.Run(sched, cfg)
 	if err != nil {

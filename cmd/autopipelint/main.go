@@ -3,8 +3,9 @@
 //
 //	go vet -vettool=$(pwd)/bin/autopipelint ./...
 //
-// drives the three syntax analyzers (simclock, errsentinel, ctxspawn) over
-// every compilation unit via the go command's vettool protocol: autopipelint
+// drives the five Go analyzers (simclock, errsentinel, ctxspawn, and the
+// flow-sensitive locksafe and unitsafe) over every compilation unit via the
+// go command's vettool protocol: autopipelint
 // answers the -V=full version handshake and the -flags enumeration, then is
 // invoked once per package with a *.cfg unit description.
 //
@@ -29,8 +30,10 @@ import (
 	"autopipe/internal/analysis"
 	"autopipe/internal/analysis/ctxspawn"
 	"autopipe/internal/analysis/errsentinel"
+	"autopipe/internal/analysis/locksafe"
 	"autopipe/internal/analysis/scheddata"
 	"autopipe/internal/analysis/simclock"
+	"autopipe/internal/analysis/unitsafe"
 )
 
 func main() {
@@ -48,6 +51,8 @@ func run(args []string) int {
 			simclock.Analyzer.Name:    fs.Bool("simclock", true, simclock.Analyzer.Doc),
 			errsentinel.Analyzer.Name: fs.Bool("errsentinel", true, errsentinel.Analyzer.Doc),
 			ctxspawn.Analyzer.Name:    fs.Bool("ctxspawn", true, ctxspawn.Analyzer.Doc),
+			locksafe.Analyzer.Name:    fs.Bool("locksafe", true, locksafe.Analyzer.Doc),
+			unitsafe.Analyzer.Name:    fs.Bool("unitsafe", true, unitsafe.Analyzer.Doc),
 		}
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +74,7 @@ func run(args []string) int {
 		return 2
 	}
 	var analyzers []*analysis.Analyzer
-	for _, a := range []*analysis.Analyzer{simclock.Analyzer, errsentinel.Analyzer, ctxspawn.Analyzer} {
+	for _, a := range []*analysis.Analyzer{simclock.Analyzer, errsentinel.Analyzer, ctxspawn.Analyzer, locksafe.Analyzer, unitsafe.Analyzer} {
 		if *enabled[a.Name] {
 			analyzers = append(analyzers, a)
 		}
@@ -123,6 +128,8 @@ func printFlags(w io.Writer) int {
 		{"simclock", true, simclock.Analyzer.Doc},
 		{"errsentinel", true, errsentinel.Analyzer.Doc},
 		{"ctxspawn", true, ctxspawn.Analyzer.Doc},
+		{"locksafe", true, locksafe.Analyzer.Doc},
+		{"unitsafe", true, unitsafe.Analyzer.Doc},
 	}
 	data, err := json.Marshal(flags)
 	if err != nil {

@@ -70,6 +70,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a JSON metrics report (bubbles, utilization, links, memory) to this path")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	ff := cliutil.RegisterFaults(flag.CommandLine)
+	ef := cliutil.RegisterExec(flag.CommandLine)
 	flag.Parse()
 
 	plan, err := ff.Load()
@@ -145,6 +146,7 @@ func main() {
 		Network:        cluster.Network,
 		KernelOverhead: cluster.Device.KernelOverhead,
 		Obs:            reg,
+		Sanitize:       ef.Sanitize,
 	}
 	var cleanIter float64
 	if plan != nil {

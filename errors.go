@@ -30,4 +30,9 @@ var (
 	// ErrTransient marks a retryable communication failure (a dropped
 	// message under fault injection).
 	ErrTransient = errdefs.ErrTransient
+	// ErrInternal marks a violated internal invariant — most prominently a
+	// runtime-sanitizer finding (an op that started before its schedule
+	// dependencies completed, an oversubscribed link, a negative activation
+	// ledger). Never retried: it is a bug, not a fault.
+	ErrInternal = errdefs.ErrInternal
 )

@@ -15,7 +15,9 @@
 // Suppression: a diagnostic is dropped when the line it is reported on, or
 // the line above, carries a `//lint:allow <analyzer> [reason]` comment. The
 // escape hatch is per-line and per-analyzer, so every waiver is visible and
-// greppable at the call site it excuses.
+// greppable at the call site it excuses. A waiver that suppresses nothing is
+// itself reported as a finding, so stale waivers cannot accumulate after the
+// code they excused is fixed or deleted.
 package analysis
 
 import (
@@ -47,8 +49,11 @@ type Pass struct {
 	Info     *types.Info
 
 	report func(Diagnostic)
-	// allows maps filename -> lines carrying //lint:allow for this analyzer.
-	allows map[string]map[int]bool
+	// allows maps filename -> line -> position of a //lint:allow comment for
+	// this analyzer; used tracks which of those lines suppressed a finding,
+	// so RunAnalyzers can report the waivers that have rotted.
+	allows map[string]map[int]token.Position
+	used   map[string]map[int]bool
 }
 
 // A Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -63,11 +68,19 @@ func (d Diagnostic) String() string {
 }
 
 // Reportf records a finding unless a `//lint:allow` comment on the same or
-// the preceding line waives it.
+// the preceding line waives it. A waiver that fires is marked used; waivers
+// that never fire are themselves reported by RunAnalyzers.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if lines := p.allows[position.Filename]; lines[position.Line] || lines[position.Line-1] {
-		return
+	lines := p.allows[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if _, ok := lines[line]; ok {
+			if p.used[position.Filename] == nil {
+				p.used[position.Filename] = make(map[int]bool)
+			}
+			p.used[position.Filename][line] = true
+			return
+		}
 	}
 	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
@@ -82,8 +95,8 @@ func (p *Pass) InTestFile(n ast.Node) bool {
 // allowPrefix starts every suppression comment: //lint:allow <name> [reason]
 const allowPrefix = "lint:allow"
 
-func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
-	out := make(map[string]map[int]bool)
+func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]token.Position {
+	out := make(map[string]map[int]token.Position)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -98,9 +111,9 @@ func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[str
 				}
 				pos := fset.Position(c.Pos())
 				if out[pos.Filename] == nil {
-					out[pos.Filename] = make(map[int]bool)
+					out[pos.Filename] = make(map[int]token.Position)
 				}
-				out[pos.Filename][pos.Line] = true
+				out[pos.Filename][pos.Line] = pos
 			}
 		}
 	}
@@ -108,7 +121,10 @@ func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[str
 }
 
 // RunAnalyzers applies every analyzer to one typed package and returns the
-// surviving diagnostics in file/line order.
+// surviving diagnostics in file/line order. A `//lint:allow` waiver for one
+// of the analyzers run that suppressed nothing is itself reported — waivers
+// must not outlive the finding they excuse. (The unused-waiver report is not
+// itself waivable: delete the stale comment instead.)
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -120,9 +136,21 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Info:     info,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 			allows:   allowLines(fset, files, a.Name),
+			used:     make(map[string]map[int]bool),
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for filename, lines := range pass.allows {
+			for line, pos := range lines {
+				if !pass.used[filename][line] {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: a.Name,
+						Message:  fmt.Sprintf("unused waiver: //lint:allow %s suppresses no diagnostic on this or the next line; delete it", a.Name),
+					})
+				}
+			}
 		}
 	}
 	Sort(diags)

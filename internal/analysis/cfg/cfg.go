@@ -1,0 +1,466 @@
+// Package cfg builds an intraprocedural control-flow graph of basic blocks
+// over go/ast function bodies, plus a small worklist dataflow framework
+// (Solve) and a reaching-definitions analysis built on it. It is the
+// foundation the flow-sensitive autopipelint analyzers (locksafe) stand on.
+//
+// x/tools/go/cfg would normally provide the graph, but the repository builds
+// offline with no module proxy (the same DESIGN §11 deviation that motivates
+// package analysis), so the subset needed here is implemented against the
+// standard library. The shape mirrors x/tools: a Block holds the statements
+// and decomposed control-flow expressions (an if's condition, a switch's
+// tag, the range header) that execute unconditionally once the block is
+// entered; edges carry the branching.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: nodes that execute straight-line, then a branch
+// to one of Succs. The entry block has index 0; the distinguished exit block
+// (returns, panics, falling off the end) has no nodes and no successors.
+type Block struct {
+	Index int
+	// Kind describes what created the block, for debugging and tests.
+	Kind string
+	// Nodes are statements and decomposed control expressions in execution
+	// order. Control statements never appear whole, with one exception: a
+	// *ast.RangeStmt node stands for its header (the implicit Key/Value
+	// assignment and the evaluation of X) — walkers must not descend into
+	// its Body, which the graph has already decomposed. Use Walk.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from the entry.
+	Live bool
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// String renders the graph compactly for tests: "0(entry)->1,2".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", b.Index, b.Kind)
+		for i, s := range b.Succs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// New builds the CFG of a function body. A nil body (a declaration without a
+// definition) yields a graph with only entry and exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Kind: "exit"}
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.g.Exit)
+	// Attach the exit last so indices read in construction order.
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	b.resolveGotos()
+	b.markLive()
+	return b.g
+}
+
+// frame tracks the jump targets one enclosing breakable/continuable
+// statement establishes.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	// label bookkeeping for goto: target blocks by name, and pending jumps
+	// to labels not yet seen.
+	labels  map[string]*Block
+	pending map[string][]*Block
+	// nextLabel names the statement that follows a LabeledStmt, so its loop
+	// frame carries the label for `break L` / `continue L`.
+	nextLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startDead begins an unreachable block after a terminating statement
+// (return, goto, panic, break): any trailing code still gets a block, but no
+// edge leads to it.
+func (b *builder) startDead(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending statement label set by a LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.startDead("unreachable.return")
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.startDead("unreachable.panic")
+		}
+	case nil:
+		// absent init/post clauses
+	default:
+		// Assign, IncDec, Decl, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// isPanic recognizes a call to the predeclared panic. Shadowing a builtin
+// named panic would fool this syntactic test; the repository does not.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // labels on if only matter for goto, handled in labeledStmt
+	b.stmt(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	done := b.newBlock("if.done")
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, done)
+	} else {
+		b.edge(cond, done)
+	}
+	b.edge(thenEnd, done)
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.stmt(s.Init)
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, done)
+	}
+
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	// The RangeStmt node stands for its header: X's evaluation and the
+	// per-iteration Key/Value assignment. Walk knows not to descend into Body.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, done)
+
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	b.stmt(s.Init)
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, func(c *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, len(c.List))
+		for i, e := range c.List {
+			nodes[i] = e
+		}
+		return nodes
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	b.stmt(s.Init)
+	b.add(s.Assign)
+	b.caseClauses(s.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses lowers switch/type-switch bodies: the current block branches to
+// every clause (and past the switch when no default exists); fallthrough
+// chains clause bodies.
+func (b *builder) caseClauses(clauses []ast.Stmt, label string, head func(*ast.CaseClause) []ast.Node) {
+	src := b.cur
+	done := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		c := cs.(*ast.CaseClause)
+		blocks[i] = b.newBlock("switch.case")
+		blocks[i].Nodes = append(blocks[i].Nodes, head(c)...)
+		b.edge(src, blocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(src, done)
+	}
+	for i, cs := range clauses {
+		c := cs.(*ast.CaseClause)
+		b.cur = blocks[i]
+		fallsThrough := b.clauseBody(c.Body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, blocks[i+1])
+			b.startDead("unreachable.fallthrough")
+		}
+		b.edge(b.cur, done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// clauseBody builds a case body and reports whether it ends in fallthrough.
+func (b *builder) clauseBody(body []ast.Stmt) bool {
+	for i, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			b.stmtList(body[i+1:]) // unreachable but keep blocks total
+			return true
+		}
+		b.stmt(s)
+	}
+	return false
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	src := b.cur
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	for _, cs := range s.Body.List {
+		c := cs.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		b.edge(src, blk)
+		b.cur = blk
+		if c.Comm != nil {
+			b.add(c.Comm)
+		}
+		b.stmtList(c.Body)
+		b.edge(b.cur, done)
+	}
+	if len(s.Body.List) == 0 {
+		// An empty select blocks forever: no path onward.
+		b.edge(src, b.g.Exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	lbl := b.newBlock("label." + s.Label.Name)
+	b.edge(b.cur, lbl)
+	b.labels[s.Label.Name] = lbl
+	b.cur = lbl
+	b.nextLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.nextLabel = ""
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				b.edge(b.cur, f.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (name == "" || f.label == name) {
+				b.edge(b.cur, f.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		if b.pending == nil {
+			b.pending = map[string][]*Block{}
+		}
+		if t, ok := b.labels[name]; ok {
+			b.edge(b.cur, t)
+		} else {
+			b.pending[name] = append(b.pending[name], b.cur)
+		}
+	case token.FALLTHROUGH:
+		// handled in clauseBody; a stray fallthrough would not compile
+	}
+	b.startDead("unreachable.branch")
+}
+
+// resolveGotos patches forward gotos whose labels appeared later.
+func (b *builder) resolveGotos() {
+	for name, srcs := range b.pending {
+		t, ok := b.labels[name]
+		if !ok {
+			t = b.g.Exit // would not compile; keep the graph well-formed
+		}
+		for _, src := range srcs {
+			b.edge(src, t)
+		}
+	}
+}
+
+func (b *builder) markLive() {
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(b.g.Entry)
+}
+
+// Walk visits the syntax a block node owns in source order: the node's own
+// subtree, minus nested function literals' bodies (their statements execute
+// at call time, on a different CFG) and minus a range statement's body (the
+// graph decomposed it into other blocks). The visitor returns false to prune
+// the subtree below n.
+func Walk(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit:
+			return visit(m) && false
+		case *ast.RangeStmt:
+			if !visit(m) {
+				return false
+			}
+			for _, sub := range []ast.Node{m.Key, m.Value, m.X} {
+				if sub != nil {
+					Walk(sub, visit)
+				}
+			}
+			return false
+		default:
+			return visit(m)
+		}
+	})
+}

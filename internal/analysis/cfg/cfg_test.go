@@ -1,0 +1,300 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"autopipe/internal/analysis"
+)
+
+// parseFunc typechecks one source file and returns the named function, its
+// file set, and the populated types.Info.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *token.FileSet, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, fset, info
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil, nil, nil
+}
+
+// shape summarizes liveness and edges for assertions.
+func liveBlocks(g *Graph) int {
+	n := 0
+	for _, b := range g.Blocks {
+		if b.Live {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f() int {
+	x := 1
+	x++
+	return x
+}`, "f")
+	g := New(fn.Body)
+	if liveBlocks(g) != 2 { // entry + exit
+		t.Fatalf("straight-line function: %d live blocks, want 2\n%s", liveBlocks(g), g)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry block holds %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry must flow straight to exit\n%s", g)
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	g := New(fn.Body)
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("condition block should branch two ways\n%s", g)
+	}
+	// Both arms converge on the block holding the return.
+	a, b := g.Entry.Succs[0], g.Entry.Succs[1]
+	if len(a.Succs) != 1 || len(b.Succs) != 1 || a.Succs[0] != b.Succs[0] {
+		t.Fatalf("if arms must rejoin at one block\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	g := New(fn.Body)
+	backEdge := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s.Live {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Fatalf("loop produced no back edge\n%s", g)
+	}
+}
+
+func TestReturnMakesTrailingCodeDead(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f() int {
+	return 1
+	x := 2 //nolint
+	_ = x
+	return x
+}`, "f")
+	g := New(fn.Body)
+	if liveBlocks(g) != 2 { // entry + exit; trailing code dead
+		t.Fatalf("code after return must be unreachable\n%s", g)
+	}
+}
+
+func TestGotoEdges(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) int {
+loop:
+	n--
+	if n > 0 {
+		goto loop
+	}
+	return n
+}`, "f")
+	g := New(fn.Body)
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatalf("no label block\n%s", g)
+	}
+	if len(label.Preds) < 2 {
+		t.Fatalf("label.loop should have fallthrough and goto preds, got %d\n%s", len(label.Preds), g)
+	}
+}
+
+func TestSelectFansOut(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`, "f")
+	g := New(fn.Body)
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("select should fan out to each comm clause\n%s", g)
+	}
+}
+
+func TestSwitchDefaultAndBreak(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		n = 10
+	default:
+		n = 20
+	}
+	return n
+}`, "f")
+	g := New(fn.Body)
+	if got := len(g.Entry.Succs); got != 3 {
+		t.Fatalf("switch with default should branch to 3 cases, got %d\n%s", got, g)
+	}
+}
+
+func TestReachingDefsMergeAndKill(t *testing.T) {
+	fn, _, info := parseFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	y := x
+	return y
+}`, "f")
+	g := New(fn.Body)
+	facts := ReachingDefs(g, info, nil)
+
+	// Find the block holding "y := x": the if's join block.
+	var join *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "y" {
+					join = b
+				}
+			}
+		}
+	}
+	if join == nil {
+		t.Fatalf("no block defines y\n%s", g)
+	}
+	var xObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "x" {
+			xObj = obj
+		}
+	}
+	if xObj == nil {
+		t.Fatal("no object for x")
+	}
+	if got := len(facts[join][xObj]); got != 2 {
+		t.Fatalf("both the initial and the if-branch definition of x must reach the join, got %d", got)
+	}
+
+	// After an unconditional redefinition only one def reaches.
+	fn2, _, info2 := parseFunc(t, `package p
+func g() int {
+	x := 0
+	x = 1
+	return x
+}`, "g")
+	g2 := New(fn2.Body)
+	facts2 := ReachingDefs(g2, info2, nil)
+	var x2 types.Object
+	for id, obj := range info2.Defs {
+		if id.Name == "x" {
+			x2 = obj
+		}
+	}
+	if got := len(facts2[g2.Exit][x2]); got != 1 {
+		t.Fatalf("redefinition must kill the earlier def, got %d reaching exit", got)
+	}
+}
+
+func TestParamsSeedEntry(t *testing.T) {
+	fn, _, info := parseFunc(t, `package p
+func f(n int) int {
+	return n
+}`, "f")
+	g := New(fn.Body)
+	var params []*ast.Ident
+	for _, field := range fn.Type.Params.List {
+		params = append(params, field.Names...)
+	}
+	facts := ReachingDefs(g, info, params)
+	var nObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "n" {
+			nObj = obj
+		}
+	}
+	if len(facts[g.Exit][nObj]) != 1 {
+		t.Fatal("parameter definition must reach the exit")
+	}
+}
+
+func TestRangeWalkSkipsBody(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`, "f")
+	g := New(fn.Body)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range head\n%s", g)
+	}
+	// Walking the header node must not visit the body's += statement.
+	sawBody := false
+	for _, n := range head.Nodes {
+		Walk(n, func(m ast.Node) bool {
+			if a, ok := m.(*ast.AssignStmt); ok && a.Tok == token.ADD_ASSIGN {
+				sawBody = true
+			}
+			return true
+		})
+	}
+	if sawBody {
+		t.Error("Walk descended into a range body the CFG already decomposed")
+	}
+}

@@ -1,0 +1,146 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Defs is a reaching-definitions fact: for each variable, the set of
+// definition sites (assignment nodes, or the *ast.Ident of a parameter or
+// range variable) that may have produced its current value.
+type Defs map[types.Object]map[ast.Node]bool
+
+func (d Defs) clone() Defs {
+	out := make(Defs, len(d))
+	for obj, sites := range d {
+		cp := make(map[ast.Node]bool, len(sites))
+		for n := range sites {
+			cp[n] = true
+		}
+		out[obj] = cp
+	}
+	return out
+}
+
+// reachingProblem is the classic gen/kill reaching-definitions analysis: an
+// assignment kills every prior definition of its target and generates
+// itself; joins union.
+type reachingProblem struct {
+	info  *types.Info
+	entry Defs
+}
+
+func (p reachingProblem) Entry() Defs { return p.entry.clone() }
+
+func (p reachingProblem) Join(a, b Defs) Defs {
+	out := a.clone()
+	for obj, sites := range b {
+		if out[obj] == nil {
+			out[obj] = map[ast.Node]bool{}
+		}
+		for n := range sites {
+			out[obj][n] = true
+		}
+	}
+	return out
+}
+
+func (p reachingProblem) Transfer(b *Block, in Defs) Defs {
+	out := in.clone()
+	for _, n := range b.Nodes {
+		Walk(n, func(m ast.Node) bool {
+			for _, def := range nodeDefs(p.info, m) {
+				out[def.obj] = map[ast.Node]bool{def.site: true}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (p reachingProblem) Equal(a, b Defs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, sa := range a {
+		sb, ok := b[obj]
+		if !ok || len(sa) != len(sb) {
+			return false
+		}
+		for n := range sa {
+			if !sb[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type def struct {
+	obj  types.Object
+	site ast.Node
+}
+
+// nodeDefs lists the variable definitions one AST node performs.
+func nodeDefs(info *types.Info, n ast.Node) []def {
+	obj := func(id *ast.Ident) types.Object {
+		if o := info.Defs[id]; o != nil {
+			return o
+		}
+		return info.Uses[id]
+	}
+	var out []def
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				if o := obj(id); o != nil {
+					out = append(out, def{o, n})
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if o := obj(id); o != nil {
+				out = append(out, def{o, n})
+			}
+		}
+	case *ast.ValueSpec:
+		for _, id := range n.Names {
+			if id.Name != "_" {
+				if o := obj(id); o != nil {
+					out = append(out, def{o, n})
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Tok != token.DEFINE && n.Tok != token.ASSIGN {
+			break
+		}
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id != nil && id.Name != "_" {
+				if o := obj(id); o != nil {
+					out = append(out, def{o, n})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReachingDefs computes, for every reachable block, the definitions reaching
+// its entry. entryIdents seeds the analysis with definitions holding at
+// function entry (parameters, receivers, named results).
+func ReachingDefs(g *Graph, info *types.Info, entryIdents []*ast.Ident) map[*Block]Defs {
+	entry := Defs{}
+	for _, id := range entryIdents {
+		if id == nil || id.Name == "_" {
+			continue
+		}
+		if o := info.Defs[id]; o != nil {
+			entry[o] = map[ast.Node]bool{id: true}
+		}
+	}
+	return Solve[Defs](g, reachingProblem{info: info, entry: entry})
+}

@@ -1,0 +1,51 @@
+package cfg
+
+// Problem defines one forward dataflow analysis over a Graph for Solve: a
+// fact of type F flows along edges, facts joining at block entries, each
+// block transforming its entry fact into an exit fact.
+type Problem[F any] interface {
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Join merges two facts arriving at the same block. It must be
+	// commutative, associative, and monotone for Solve to terminate.
+	Join(a, b F) F
+	// Transfer applies one block's nodes to an entry fact. It must not
+	// mutate in.
+	Transfer(b *Block, in F) F
+	// Equal reports fact equality; the fixpoint stops when no block's entry
+	// fact changes.
+	Equal(a, b F) bool
+}
+
+// Solve runs the worklist fixpoint of a forward dataflow problem and returns
+// the entry fact of every reachable block. Unreachable blocks are absent
+// from the result: no fact holds there.
+func Solve[F any](g *Graph, p Problem[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = p.Entry()
+
+	queue := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		out := p.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			next := out
+			old, seen := in[s]
+			if seen {
+				next = p.Join(old, out)
+				if p.Equal(old, next) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}

@@ -99,7 +99,14 @@ func inScope(path string, scope []string) bool {
 // checkFuncBody applies the comparison check everywhere in the body and,
 // when the package is in scope, flags unwrapped fmt.Errorf and in-function
 // errors.New. Nested function literals are covered by the same walk.
+//
+// An errors.New is sanctioned when something on the same line wraps it into
+// a dispatchable chain: a direct argument of errors.Join (which implements
+// Unwrap() []error) or of a fmt.Errorf verb slot matched to %w (Go 1.20
+// multi-%w included). The walk visits parents first, so the wrapping call
+// records its sanctioned arguments before the errors.New node is reached.
 func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt, scoped bool) {
+	wrapped := make(map[ast.Node]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.BinaryExpr:
@@ -114,12 +121,31 @@ func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt, scoped bool) {
 			}
 			switch {
 			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
-				if format, ok := constFormat(pass, n); ok && !strings.Contains(format, "%w") {
+				format, ok := constFormat(pass, n)
+				if !ok {
+					return true
+				}
+				verbs := argVerbs(format)
+				wrapsAny := false
+				for i, arg := range n.Args[1:] {
+					if verbs[i] == 'w' {
+						wrapsAny = true
+						wrapped[ast.Unparen(arg)] = true
+					}
+				}
+				if !wrapsAny {
 					pass.Reportf(n.Pos(),
 						"fmt.Errorf without %%w in %s: wrap an errdefs sentinel or the upstream error so errors.Is can dispatch on it",
 						pass.Pkg.Path())
 				}
+			case fn.Pkg().Path() == "errors" && fn.Name() == "Join":
+				for _, arg := range n.Args {
+					wrapped[ast.Unparen(arg)] = true
+				}
 			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				if wrapped[n] {
+					return true
+				}
 				pass.Reportf(n.Pos(),
 					"errors.New inside a function in %s creates an unwrappable error: wrap an errdefs sentinel with fmt.Errorf(\"%%w: ...\") or declare a package-level sentinel",
 					pass.Pkg.Path())
@@ -127,6 +153,70 @@ func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt, scoped bool) {
 		}
 		return true
 	})
+}
+
+// argVerbs maps variadic-argument index -> the fmt verb letter consuming it.
+// It understands %% escapes, flags, *-widths and precisions (which consume
+// an argument themselves, recorded as '*'), and explicit argument indexes
+// like %[2]w. strings.Contains(format, "%w") is not enough: "%%w" renders a
+// literal and wraps nothing, and with multi-%w the analyzer must know which
+// argument slots are wrapped, not just that one is.
+func argVerbs(format string) map[int]byte {
+	verbs := make(map[int]byte)
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue // literal percent, consumes nothing
+		}
+		for i < len(format) && strings.ContainsRune("#+-0 ", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			verbs[arg] = '*'
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs[arg] = '*'
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i < len(format) {
+			verbs[arg] = format[i]
+			arg++
+		}
+	}
+	return verbs
 }
 
 func constFormat(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {

@@ -15,19 +15,28 @@ func TestErrsentinel(t *testing.T) {
 }
 
 // TestWrapChecksScoped: outside the scope only the comparison diagnostics
-// remain; the fmt.Errorf / errors.New wrap checks go quiet.
+// remain; the fmt.Errorf / errors.New wrap checks go quiet. The fixture's
+// waivers then suppress nothing, so the framework reports each of them as
+// unused — expected, and proof the unused-waiver check sees scoped-out
+// packages too.
 func TestWrapChecksScoped(t *testing.T) {
 	a := New("autopipe/internal/core")
 	diags, err := analysistest.Load(t, "../testdata/src/errsentinel", "someotherpkg", a)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var compares, unused int
 	for _, d := range diags {
-		if !strings.Contains(d.Message, "errors.Is") {
+		switch {
+		case strings.Contains(d.Message, "errors.Is"):
+			compares++
+		case strings.Contains(d.Message, "unused waiver"):
+			unused++
+		default:
 			t.Errorf("out-of-scope package produced a wrap diagnostic: %s", d)
 		}
 	}
-	if len(diags) != 2 {
-		t.Fatalf("expected exactly the 2 comparison diagnostics out of scope, got %d: %v", len(diags), diags)
+	if compares != 2 || unused != 2 {
+		t.Fatalf("expected 2 comparison + 2 unused-waiver diagnostics out of scope, got %d/%d: %v", compares, unused, diags)
 	}
 }

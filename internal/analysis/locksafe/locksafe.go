@@ -1,0 +1,521 @@
+// Package locksafe is the flow-sensitive mutex discipline check for the
+// packages whose shared state guards the executor and planner invariants
+// (internal/core, exec, obs, train). Over every CFG path of every function
+// (package analysis/cfg) it tracks a lock-state lattice per mutex and
+// reports:
+//
+//   - a path that returns, falls off the function end, or panics while a
+//     Lock has no matching Unlock and no deferred Unlock — the early-return
+//     leak that freezes every other goroutine touching the registry;
+//   - locking a mutex this function already holds (self-deadlock) and
+//     unlocking one it has provably already released;
+//   - holding a mutex across a channel send/receive, a select, or
+//     sync.WaitGroup.Wait — blocking with a lock held inverts the lock/wait
+//     order and deadlocks under contention;
+//   - mutex-by-value copies: a parameter, receiver, assignment, or call
+//     argument that copies a sync.Mutex/RWMutex (or a struct containing
+//     one), which silently forks the lock.
+//
+// The analysis is intraprocedural and joins paths conservatively: a mutex
+// locked on only some inbound paths is "maybe held", reported at returns but
+// not at blocking operations, so helper-unlocks locked by a caller do not
+// false-positive. Escape hatch: `//lint:allow locksafe <reason>`.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"autopipe/internal/analysis"
+	"autopipe/internal/analysis/cfg"
+)
+
+// DefaultScope lists the packages whose locking is checked.
+var DefaultScope = []string{
+	"autopipe/internal/core",
+	"autopipe/internal/exec",
+	"autopipe/internal/obs",
+	"autopipe/internal/train",
+}
+
+// Analyzer checks the production packages.
+var Analyzer = New(DefaultScope...)
+
+// New returns a locksafe analyzer scoped to the given package paths.
+func New(scope ...string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "locksafe",
+		Doc:  "CFG-path Lock/Unlock pairing, no blocking with a mutex held, no mutex-by-value copies in core, exec, obs, and train",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			if pass.InTestFile(file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkCopies(pass, fd)
+				if fd.Body == nil {
+					continue
+				}
+				checkFunc(pass, fd.Body)
+				// Nested function literals run on their own stack (and often
+				// their own goroutine): analyze each as its own CFG.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkFunc(pass, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// lock states. Absent from the fact map means "unknown": never touched on
+// this path (a caller may or may not hold it).
+const (
+	stLocked   = iota // definitely held
+	stUnlocked        // definitely released after a lock/unlock in this function
+	stMaybe           // held on some inbound paths only
+)
+
+// lockInfo is one mutex's state on one path.
+type lockInfo struct {
+	state int
+	// pos is the Lock call that acquired it (for reports).
+	pos token.Pos
+	// deferred records a pending `defer mu.Unlock()` on this path.
+	deferred bool
+}
+
+// fact maps a rendered mutex expression ("r.mu", "s.mu:r" for RLock) to its
+// state.
+type fact map[string]lockInfo
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// problem is the dataflow instance for one function body.
+type problem struct {
+	pass *analysis.Pass
+	g    *cfg.Graph
+	// report gates diagnostics: false while the fixpoint iterates (facts are
+	// not final), true during the single reporting pass over the stabilized
+	// facts. reported still dedupes blocks transferred more than once.
+	report   bool
+	reported map[token.Pos]map[string]bool
+	// funcEnd positions the fall-off-the-end report.
+	funcEnd token.Pos
+}
+
+func (p *problem) Entry() fact { return fact{} }
+
+func (p *problem) Join(a, b fact) fact {
+	out := make(fact, len(a)+len(b))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			merged := va
+			if vb.state != va.state {
+				merged.state = stMaybe
+			}
+			merged.deferred = va.deferred && vb.deferred
+			out[k] = merged
+		} else {
+			va.state = mergeUnknown(va.state)
+			va.deferred = false
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			vb.state = mergeUnknown(vb.state)
+			vb.deferred = false
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+// mergeUnknown joins a tracked state with "unknown" from the other path.
+func mergeUnknown(s int) int {
+	if s == stLocked {
+		return stMaybe
+	}
+	return s // unlocked-on-one-path stays unlocked enough; maybe stays maybe
+}
+
+func (p *problem) Equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va.state != vb.state || va.deferred != vb.deferred {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *problem) Transfer(b *cfg.Block, in fact) fact {
+	out := in.clone()
+	for _, n := range b.Nodes {
+		p.node(n, out)
+	}
+	// A block flowing straight into the exit without a return/panic node is
+	// the fall-off-the-end path.
+	for _, s := range b.Succs {
+		if s == p.g.Exit && !endsExplicitly(b) {
+			p.checkHeldAt(p.funcEnd, out, "at function end")
+		}
+	}
+	return out
+}
+
+func endsExplicitly(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(last.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// node applies one block node to the fact, reporting violations.
+func (p *problem) node(n ast.Node, out fact) {
+	cfg.Walk(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			p.deferStmt(m, out)
+			return false // the deferred call does not run here
+		case *ast.CallExpr:
+			if key, kind, ok := lockCall(p.pass.Info, m); ok {
+				p.lockOp(m, key, kind, out)
+				return true
+			}
+			if isBlockingCall(p.pass.Info, m) {
+				p.checkBlocking(m.Pos(), out, "sync.WaitGroup.Wait")
+			}
+		case *ast.SendStmt:
+			p.checkBlocking(m.Pos(), out, "channel send")
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				p.checkBlocking(m.Pos(), out, "channel receive")
+			}
+		case *ast.ReturnStmt:
+			p.checkHeldAt(m.Pos(), out, "at return")
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(m.X).(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					p.checkHeldAt(m.Pos(), out, "during panic unwind")
+				}
+			}
+		case *ast.FuncLit:
+			return false // analyzed as its own CFG
+		}
+		return true
+	})
+}
+
+// deferStmt handles `defer mu.Unlock()` and `defer func(){ ...Unlock()... }()`.
+func (p *problem) deferStmt(d *ast.DeferStmt, out fact) {
+	mark := func(key, kind string) {
+		if kind != "Unlock" && kind != "RUnlock" {
+			return
+		}
+		if kind == "RUnlock" {
+			key += ":r"
+		}
+		if info, ok := out[key]; ok {
+			info.deferred = true
+			out[key] = info
+		} else {
+			// Deferred unlock of a mutex this function never locked (the
+			// caller holds it): maybe-held, release pending — nothing to flag.
+			out[key] = lockInfo{state: stMaybe, deferred: true, pos: d.Pos()}
+		}
+	}
+	if key, kind, ok := lockCall(p.pass.Info, d.Call); ok {
+		mark(key, kind)
+		return
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, kind, ok := lockCall(p.pass.Info, call); ok {
+					mark(key, kind)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *problem) lockOp(call *ast.CallExpr, key, kind string, out fact) {
+	switch kind {
+	case "Lock", "RLock":
+		if kind == "RLock" {
+			key += ":r"
+		}
+		if info, ok := out[key]; ok && info.state == stLocked {
+			p.reportOnce(call.Pos(), "%s locked twice on the same path (already held since the Lock at %s): self-deadlock",
+				key, p.pass.Fset.Position(info.pos))
+		}
+		out[key] = lockInfo{state: stLocked, pos: call.Pos()}
+	case "Unlock", "RUnlock":
+		if kind == "RUnlock" {
+			key += ":r"
+		}
+		if info, ok := out[key]; ok && info.state == stUnlocked && !info.deferred {
+			p.reportOnce(call.Pos(), "%s unlocked twice on the same path: the second Unlock panics at runtime", key)
+		}
+		info := out[key]
+		info.state = stUnlocked
+		out[key] = info
+	}
+}
+
+func (p *problem) checkBlocking(pos token.Pos, out fact, what string) {
+	for key, info := range out {
+		if info.state == stLocked {
+			p.reportOnce(pos, "%s while holding %s (locked at %s): blocking with a mutex held deadlocks under contention",
+				what, strings.TrimSuffix(key, ":r"), p.pass.Fset.Position(info.pos))
+		}
+	}
+}
+
+func (p *problem) checkHeldAt(pos token.Pos, out fact, where string) {
+	for key, info := range out {
+		if info.deferred {
+			continue
+		}
+		switch info.state {
+		case stLocked:
+			p.reportOnce(pos, "%s still held %s (locked at %s) with no Unlock and no deferred Unlock on this path",
+				strings.TrimSuffix(key, ":r"), where, p.pass.Fset.Position(info.pos))
+		case stMaybe:
+			p.reportOnce(pos, "%s may still be held %s: locked on some paths (e.g. at %s) without a matching Unlock on all of them",
+				strings.TrimSuffix(key, ":r"), where, p.pass.Fset.Position(info.pos))
+		}
+	}
+}
+
+func (p *problem) reportOnce(pos token.Pos, format string, args ...any) {
+	if !p.report {
+		return
+	}
+	if p.reported[pos] == nil {
+		p.reported[pos] = map[string]bool{}
+	}
+	if p.reported[pos][format] {
+		return
+	}
+	p.reported[pos][format] = true
+	p.pass.Reportf(pos, format, args...)
+}
+
+// checkFunc runs the lattice to fixpoint over one function body, then makes
+// one reporting pass with the stabilized entry facts.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	p := &problem{pass: pass, g: g, reported: map[token.Pos]map[string]bool{}, funcEnd: body.Rbrace}
+	facts := cfg.Solve[fact](g, p)
+	p.report = true
+	for _, b := range g.Blocks {
+		if in, ok := facts[b]; ok {
+			p.Transfer(b, in)
+		}
+	}
+}
+
+// lockCall classifies a call as a sync.Mutex/RWMutex (R)Lock/(R)Unlock and
+// returns the rendered receiver expression as the mutex key.
+func lockCall(info *types.Info, call *ast.CallExpr) (key, kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncLocker(recv.Type()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// isSyncLocker reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isBlockingCall recognizes sync.WaitGroup.Wait.
+func isBlockingCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Wait" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// checkCopies reports mutex-by-value copies: receivers and parameters typed
+// as (structs containing) sync.Mutex/RWMutex, and assignments or call
+// arguments that copy an existing lock-bearing lvalue.
+func checkCopies(pass *analysis.Pass, fd *ast.FuncDecl) {
+	flagFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t != nil && containsLock(t, 0) {
+				pass.Reportf(field.Pos(), "%s copies a mutex by value (%s): the callee locks a private copy; pass a pointer",
+					what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+	flagFields(fd.Recv, "receiver")
+	flagFields(fd.Type.Params, "parameter")
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if lv := copiedLockValue(pass.Info, rhs); lv != "" {
+					pass.Reportf(rhs.Pos(), "assignment copies %s by value, forking its mutex; use a pointer", lv)
+				}
+			}
+		case *ast.CallExpr:
+			if _, _, isLock := lockCall(pass.Info, n); isLock {
+				return true
+			}
+			for _, arg := range n.Args {
+				if lv := copiedLockValue(pass.Info, arg); lv != "" {
+					pass.Reportf(arg.Pos(), "call passes %s by value, forking its mutex; pass a pointer", lv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiedLockValue reports the rendered expression when e copies an existing
+// lock-bearing value (not a composite literal, address-of, or pointer).
+func copiedLockValue(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return "" // composite literals build a fresh value; &x shares it
+	}
+	// Only values copy: the type operand of new(T) or make([]T, n) names a
+	// lock-bearing type without copying any existing lock.
+	if tv, ok := info.Types[e]; !ok || !tv.IsValue() {
+		return ""
+	}
+	t := info.TypeOf(e)
+	if t == nil || !containsLock(t, 0) {
+		return ""
+	}
+	return types.ExprString(e)
+}
+
+// containsLock reports whether a value of type t embeds a mutex by value.
+func containsLock(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	if isSyncLockerValue(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// isSyncLockerValue is isSyncLocker without pointer indirection: a *Mutex
+// copy shares the lock and is fine.
+func isSyncLockerValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

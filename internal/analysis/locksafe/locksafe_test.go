@@ -1,4 +1,4 @@
-package ctxspawn
+package locksafe
 
 import (
 	"strings"
@@ -7,16 +7,16 @@ import (
 	"autopipe/internal/analysis/analysistest"
 )
 
-// The fixture is typechecked under the import path "ctxspawn", so the
-// analyzer is scoped to that path instead of core and train.
-func TestCtxspawn(t *testing.T) {
-	analysistest.Run(t, "../testdata/src/ctxspawn", New("ctxspawn"))
+// The fixture is typechecked under the import path "locksafe", so the
+// analyzer is scoped to that path instead of the production packages.
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/locksafe", New("locksafe"))
 }
 
 // TestOutOfScope: the same fixture outside the scope must be silent.
 func TestOutOfScope(t *testing.T) {
-	a := New("autopipe/internal/core", "autopipe/internal/train")
-	diags, err := analysistest.Load(t, "../testdata/src/ctxspawn", "someotherpkg", a)
+	a := New(DefaultScope...)
+	diags, err := analysistest.Load(t, "../testdata/src/locksafe", "someotherpkg", a)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"strings"
 	"testing"
 
 	"autopipe/internal/analysis/analysistest"
@@ -20,7 +21,11 @@ func TestOutOfScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 0 {
-		t.Fatalf("expected no diagnostics out of scope, got %d: %v", len(diags), diags)
+	// The fixture's waiver suppresses nothing when the analyzer is scoped
+	// out, so the framework reports it as unused; nothing else may fire.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unused waiver") {
+			t.Errorf("expected no diagnostics out of scope, got: %v", d)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// joinWrap: errors.Join implements Unwrap() []error, so the ad-hoc detail
+// error rides a chain that errors.Is can still dispatch on via the sentinel
+// sibling. Must stay silent.
+func joinWrap(path string) error {
+	return errors.Join(ErrBadConfig, errors.New("schedule file "+path+" truncated"))
+}
+
+// multiWrap: Go 1.20 multi-%w — the second %w verb consumes the ad-hoc
+// error, so it is wrapped, not opaque. Must stay silent.
+func multiWrap(shard int) error {
+	return fmt.Errorf("%w: shard %d: %w", ErrOOM, shard, errors.New("activation stash exhausted"))
+}
+
+// escapedVerb: %%w renders a literal "%w" and wraps nothing; the error is
+// opaque despite the substring.
+func escapedVerb(n int) error {
+	return fmt.Errorf("use a %%w verb to wrap (state %d)", n) // want "fmt.Errorf without %w"
+}
+
+// verbMismatch: the ad-hoc error is consumed by %v, not %w, so the chain is
+// flattened to text. Both the Errorf and the errors.New stay flagged.
+func verbMismatch() error {
+	return fmt.Errorf("broke: %v", errors.New("detail")) // want "fmt.Errorf without %w" "errors.New inside a function"
+}
+
+// joinBare: joining only ad-hoc errors still yields a chain with no
+// sentinel, but each member is wrappable; the wrap discipline is enforced at
+// the Errorf/Join boundary, not per member.
+func joinBare(a, b error) error {
+	return errors.Join(a, b)
+}
+
+// staleWaiver suppresses nothing: the framework reports the waiver itself.
+func staleWaiver(err error) bool {
+	/*lint:allow errsentinel nothing here needs waiving*/ // want "unused waiver"
+	return errors.Is(err, ErrOOM)
+}

@@ -1,0 +1,115 @@
+// Package locksafe is a fixture for the locksafe analyzer.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// clean lock/unlock pairing: no diagnostics.
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// deferred unlock covers every path, including the early return.
+func (c *counter) get(fast bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fast {
+		return c.n
+	}
+	return c.n + 1
+}
+
+// earlyReturnLeak forgets to unlock on the error path.
+func (c *counter) earlyReturnLeak(bad bool) int {
+	c.mu.Lock()
+	if bad {
+		return -1 // want "still held at return"
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// fallOffEndLeak never unlocks at all.
+func (c *counter) fallOffEndLeak() {
+	c.mu.Lock()
+	c.n++
+} // want "still held at function end"
+
+// panicWhileHolding leaves the mutex locked during unwind.
+func (c *counter) panicWhileHolding() {
+	c.mu.Lock()
+	if c.n < 0 {
+		panic("negative") // want "during panic unwind"
+	}
+	c.mu.Unlock()
+}
+
+// deferredPanicIsFine: the deferred unlock runs during unwind.
+func (c *counter) deferredPanicIsFine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n < 0 {
+		panic("negative")
+	}
+}
+
+// doubleLock self-deadlocks.
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "locked twice on the same path"
+	c.mu.Unlock()
+}
+
+// doubleUnlock panics at runtime.
+func (c *counter) doubleUnlock() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock() // want "unlocked twice on the same path"
+}
+
+// maybeHeld unlocks on only one branch.
+func (c *counter) maybeHeld(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	}
+} // want "may still be held at function end"
+
+// loopRelock is the classic correct pattern: lock and unlock each iteration.
+func (c *counter) loopRelock(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// rwPair: read locks pair independently of write locks.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) read(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) readLeak(k string) int {
+	t.mu.RLock()
+	return t.m[k] // want "still held at return"
+}
+
+// helperUnlock releases a lock its caller acquired: out of scope for an
+// intraprocedural check, must stay silent.
+func (c *counter) helperUnlock() {
+	c.mu.Unlock()
+}

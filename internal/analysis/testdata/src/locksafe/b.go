@@ -1,0 +1,69 @@
+package locksafe
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	ch   chan int
+	wg   sync.WaitGroup
+	vals []int
+}
+
+// sendWhileHolding blocks on a channel with the mutex held.
+func (q *queue) sendWhileHolding(v int) {
+	q.mu.Lock()
+	q.ch <- v // want "channel send while holding q.mu"
+	q.mu.Unlock()
+}
+
+// recvWhileHolding blocks on a receive with the mutex held.
+func (q *queue) recvWhileHolding() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "channel receive while holding q.mu"
+}
+
+// waitWhileHolding blocks on a WaitGroup with the mutex held.
+func (q *queue) waitWhileHolding() {
+	q.mu.Lock()
+	q.wg.Wait() // want "sync.WaitGroup.Wait while holding q.mu"
+	q.mu.Unlock()
+}
+
+// sendAfterUnlock is the correct order.
+func (q *queue) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// selectWhileHolding: a select's comm cases block with the lock held.
+func (q *queue) selectWhileHolding(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch: // want "channel receive while holding q.mu"
+		q.vals = append(q.vals, v)
+	case <-done: // want "channel receive while holding q.mu"
+	}
+}
+
+// goroutineBodyIsSeparate: the literal runs on its own stack; its clean
+// lock/unlock pairing must not be confused with the spawner's state.
+func (q *queue) goroutineBodyIsSeparate() {
+	go func() {
+		q.mu.Lock()
+		q.vals = append(q.vals, 0)
+		q.mu.Unlock()
+	}()
+	q.ch <- 1 // no lock held here
+}
+
+// waiverExample shows the escape hatch.
+func (q *queue) waiverExample(v int) {
+	q.mu.Lock()
+	//lint:allow locksafe the channel is buffered and drained by this goroutine only
+	q.ch <- v
+	q.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// valueReceiver copies the mutex on every call.
+func (g guarded) valueReceiver() int { // want "receiver copies a mutex by value"
+	return g.n
+}
+
+// mutexParam copies the lock into the callee.
+func lockTwice(mu sync.Mutex) { // want "parameter copies a mutex by value"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// structParam copies a struct that embeds a mutex.
+func inspect(g guarded) int { // want "parameter copies a mutex by value"
+	return g.n
+}
+
+// pointerReceiver and pointer params share the lock: clean.
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func inspectPtr(g *guarded) int {
+	return g.n
+}
+
+var global guarded
+
+// copyAssignment forks the global's mutex.
+func snapshot() {
+	cp := global // want "assignment copies global by value"
+	cp.bump()
+}
+
+// copyArgument forks it at a call site.
+func use(v interface{}) {}
+
+func passByValue() {
+	use(global) // want "call passes global by value"
+}
+
+// freshComposite builds a new value with a composite literal: not a copy of
+// a live lock, stays silent.
+func fresh() {
+	g := guarded{n: 1}
+	g.bump()
+}
+
+// alloc: the type operand of new/make names a lock-bearing type but copies
+// no existing lock; must stay silent.
+func alloc() []guarded {
+	e := new(guarded)
+	e.bump()
+	return make([]guarded, 3)
+}

@@ -1,0 +1,99 @@
+// Package unitsafe is a fixture for the unitsafe analyzer. It declares its
+// own unit types; the test registers them in place of the production
+// sim.Time / sim.Bytes / cost.FLOPs.
+package unitsafe
+
+// Time is seconds, Bytes is a payload size, FLOPs is compute work.
+type Time float64
+type Bytes int64
+type FLOPs float64
+
+// --- literals in unit-typed positions ---
+
+func sleep(t Time) {}
+
+func callSites() {
+	sleep(3)           // want "raw literal fed into unitsafe.Time-typed parameter t"
+	sleep(-2.5)        // want "raw literal fed into unitsafe.Time-typed parameter t"
+	sleep(0)           // zero is unit-free
+	sleep(Time(3))     // explicit conversion states the unit
+	sleep(Time(3) * 2) // scaling a unit value by a scalar is legal
+}
+
+func waitAll(budget Time, ts ...Time) {}
+
+func variadicSites(t Time) {
+	waitAll(t, 1, Time(2)) // want "raw literal fed into unitsafe.Time-typed parameter ts"
+	waitAll(5, t)          // want "raw literal fed into unitsafe.Time-typed parameter budget"
+}
+
+// --- literals as arithmetic / comparison operands ---
+
+func after(t Time) bool {
+	return t > 5 // want "raw literal > unitsafe.Time-typed operand"
+}
+
+func pad(t Time) Time {
+	return t + 0.5 // want "raw literal \\+ unitsafe.Time-typed operand"
+}
+
+func padLeft(t Time) Time {
+	return 0.5 + t // want "raw literal \\+ unitsafe.Time-typed operand"
+}
+
+func nonZeroYet(t Time) bool {
+	return t != 0 // zero is unit-free
+}
+
+func scale(t Time) Time {
+	return t * 2 // scaling is legal: the literal is a dimensionless factor
+}
+
+func halve(t Time) Time {
+	return t / 2 // so is dividing by a scalar
+}
+
+// --- same-unit products ---
+
+const tick Time = 1e-3
+
+func square(a, b Time) Time {
+	return a * b // want "unitsafe.Time . unitsafe.Time has dimension"
+}
+
+func constSquare(t Time) Time {
+	return t * tick // want "unitsafe.Time . unitsafe.Time has dimension"
+}
+
+func ratio(a, b Time) float64 {
+	return float64(a / b) // a ratio of like units is dimensionless: legal
+}
+
+// --- cross-unit conversions ---
+
+func launder(b Bytes) Time {
+	return Time(b) // want "conversion unitsafe.Time.unitsafe.Bytes. launders a dimension"
+}
+
+func launderFlops(f FLOPs) Bytes {
+	return Bytes(f) // want "conversion unitsafe.Bytes.unitsafe.FLOPs. launders a dimension"
+}
+
+func boundary(b Bytes, bandwidth float64) Time {
+	return Time(float64(b) / bandwidth) // through float64 at an explicit rate: legal
+}
+
+func annotate(raw float64) Time {
+	return Time(raw) // plain numeric -> unit is the sanctioned entry point
+}
+
+func extract(t Time) float64 {
+	return float64(t) // unit -> plain numeric is the sanctioned exit
+}
+
+// --- escape hatch ---
+
+func calibrated() {
+	//lint:allow unitsafe calibration constant measured in seconds on the reference host
+	sleep(42)
+}

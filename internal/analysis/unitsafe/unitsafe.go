@@ -1,0 +1,228 @@
+// Package unitsafe is the dimensional-analysis check for the timing and cost
+// packages (internal/sim, cost, exec, plan). The repository encodes physical
+// dimensions as defined types — sim.Time (seconds), sim.Bytes, cost.FLOPs —
+// so Go's own type checker already rejects most unit mixing. unitsafe closes
+// the remaining holes the type system leaves open:
+//
+//   - a direct conversion between two distinct unit types
+//     (sim.Time(bytes)) launders a dimension instead of crossing an
+//     arithmetic boundary through float64;
+//   - multiplying two values of the same unit (t1*t2 is seconds², never a
+//     meaningful quantity here; ratios via division stay legal);
+//   - feeding a raw non-zero untyped literal into a unit-typed parameter or
+//     combining one with a unit-typed operand via +, -, or a comparison —
+//     the literal's unit is unstated (scaling with * and / stays legal, and
+//     zero is unit-free).
+//
+// Escape hatch: `//lint:allow unitsafe <reason>`.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"autopipe/internal/analysis"
+)
+
+// DefaultScope lists the packages whose arithmetic is checked.
+var DefaultScope = []string{
+	"autopipe/internal/sim",
+	"autopipe/internal/cost",
+	"autopipe/internal/exec",
+	"autopipe/internal/plan",
+}
+
+// UnitRef names one unit type by package path and type name.
+type UnitRef struct {
+	Pkg, Name string
+}
+
+// DefaultUnits are the repository's dimension-bearing types.
+var DefaultUnits = []UnitRef{
+	{"autopipe/internal/sim", "Time"},
+	{"autopipe/internal/sim", "Bytes"},
+	{"autopipe/internal/cost", "FLOPs"},
+}
+
+// Analyzer checks the production packages against the repository units.
+var Analyzer = New(DefaultScope...)
+
+// New returns a unitsafe analyzer over DefaultUnits scoped to the given
+// package paths.
+func New(scope ...string) *analysis.Analyzer {
+	return NewWithUnits(DefaultUnits, scope...)
+}
+
+// NewWithUnits returns a unitsafe analyzer with an explicit unit-type
+// registry (fixtures declare their own unit types).
+func NewWithUnits(units []UnitRef, scope ...string) *analysis.Analyzer {
+	reg := make(map[UnitRef]bool, len(units))
+	for _, u := range units {
+		reg[u] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "unitsafe",
+		Doc:  "dimensional checking over sim.Time/sim.Bytes/cost.FLOPs: no cross-unit conversions, no same-unit products, no raw literals into unit-typed slots",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		c := checker{pass: pass, units: reg}
+		for _, file := range pass.Files {
+			if pass.InTestFile(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					c.call(n)
+				case *ast.BinaryExpr:
+					c.binary(n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	units map[UnitRef]bool
+}
+
+// unit returns the unit-type name of t ("" when t carries no dimension).
+func (c *checker) unit(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if c.units[UnitRef{obj.Pkg().Path(), obj.Name()}] {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}
+
+func (c *checker) exprUnit(e ast.Expr) string {
+	t := c.pass.Info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	return c.unit(t)
+}
+
+// syntacticLit unwraps parens and a leading sign and returns the numeric
+// literal underneath, or nil. The typechecker records an untyped constant
+// with its *converted* type, so "t * 2" shows both operands as sim.Time;
+// only the syntax reveals that 2 is a dimensionless scalar.
+func syntacticLit(e ast.Expr) *ast.BasicLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil
+	}
+	return lit
+}
+
+// rawLiteral reports whether e is syntactically a non-zero numeric literal
+// (including a negated one): a number with no unit annotation.
+func rawLiteral(info *types.Info, e ast.Expr) bool {
+	lit := syntacticLit(e)
+	if lit == nil {
+		return false
+	}
+	// Zero is unit-free: comparisons against 0 and zero initializations are
+	// dimensionally sound.
+	if tv, ok := info.Types[lit]; ok && tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int, constant.Float:
+			if f, _ := constant.Float64Val(constant.ToFloat(tv.Value)); f == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// call flags cross-unit conversions and raw literals in unit-typed argument
+// slots.
+func (c *checker) call(call *ast.CallExpr) {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Conversion. A cross-unit conversion launders a dimension; a
+		// conversion from or to a plain numeric type is the sanctioned
+		// boundary crossing.
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := c.unit(tv.Type)
+		src := c.exprUnit(call.Args[0])
+		if dst != "" && src != "" && dst != src {
+			c.pass.Reportf(call.Pos(), "conversion %s(%s) launders a dimension: convert through float64 at an explicit rate instead", dst, src)
+		}
+		return
+	}
+	sig, ok := c.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, isSlice := pt.(*types.Slice); isSlice {
+				pt = sl.Elem()
+			}
+		}
+		if u := c.unit(pt); u != "" && rawLiteral(c.pass.Info, arg) {
+			c.pass.Reportf(arg.Pos(), "raw literal fed into %s-typed parameter %s: state the unit with an explicit %s(...) conversion",
+				u, params.At(pi).Name(), u)
+		}
+	}
+}
+
+// binary flags same-unit products and raw literals combined with unit-typed
+// operands through +, -, or comparisons.
+func (c *checker) binary(b *ast.BinaryExpr) {
+	lu, ru := c.exprUnit(b.X), c.exprUnit(b.Y)
+	switch b.Op {
+	case token.MUL:
+		if lu != "" && lu == ru && syntacticLit(b.X) == nil && syntacticLit(b.Y) == nil {
+			c.pass.Reportf(b.OpPos, "%s * %s has dimension %s²: no quantity in this codebase carries it; one factor should be a plain scalar", lu, ru, lu)
+		}
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if lu != "" && rawLiteral(c.pass.Info, b.Y) {
+			c.pass.Reportf(b.Y.Pos(), "raw literal %s %s-typed operand: state the unit with an explicit %s(...) conversion", b.Op, lu, lu)
+		} else if ru != "" && rawLiteral(c.pass.Info, b.X) {
+			c.pass.Reportf(b.X.Pos(), "raw literal %s %s-typed operand: state the unit with an explicit %s(...) conversion", b.Op, ru, ru)
+		}
+	}
+}

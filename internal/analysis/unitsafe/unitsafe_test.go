@@ -1,0 +1,40 @@
+package unitsafe
+
+import (
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+// The fixture declares its own Time/Bytes/FLOPs under the import path
+// "unitsafe", so the test registers those in place of the production units.
+func TestUnitsafe(t *testing.T) {
+	units := []UnitRef{
+		{"unitsafe", "Time"},
+		{"unitsafe", "Bytes"},
+		{"unitsafe", "FLOPs"},
+	}
+	analysistest.Run(t, "../testdata/src/unitsafe", NewWithUnits(units, "unitsafe"))
+}
+
+// TestOutOfScope: the same fixture outside the scope must be silent.
+func TestOutOfScope(t *testing.T) {
+	units := []UnitRef{
+		{"unitsafe", "Time"},
+		{"unitsafe", "Bytes"},
+		{"unitsafe", "FLOPs"},
+	}
+	a := NewWithUnits(units, DefaultScope...)
+	diags, err := analysistest.Load(t, "../testdata/src/unitsafe", "someotherpkg", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture's waiver suppresses nothing when the analyzer is scoped
+	// out, so the framework reports it as unused; nothing else may fire.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unused waiver") {
+			t.Errorf("expected no diagnostics out of scope, got: %v", d)
+		}
+	}
+}

@@ -53,6 +53,22 @@ func (pf *PlannerFlags) PlannerOptions() []autopipe.PlannerOption {
 	return []autopipe.PlannerOption{autopipe.WithParallelism(pf.Parallelism)}
 }
 
+// ExecFlags holds the parsed values of the shared executor flags.
+type ExecFlags struct {
+	// Sanitize enables the runtime schedule sanitizer: every executed op and
+	// message is checked against the schedule's dependency graph, the link
+	// model, and the activation-memory ledger; any violation aborts the run
+	// with errdefs.ErrInternal.
+	Sanitize bool
+}
+
+// RegisterExec installs the shared executor flags on fs (before fs.Parse).
+func RegisterExec(fs *flag.FlagSet) *ExecFlags {
+	ef := &ExecFlags{}
+	fs.BoolVar(&ef.Sanitize, "sanitize", false, "validate every executed op against the schedule dependency graph, link capacity, and memory ledger (fails with an internal-error diagnosis)")
+	return ef
+}
+
 // FaultFlags holds the parsed values of the shared fault-injection flags.
 type FaultFlags struct {
 	// Path is the fault-plan JSON file; empty means no injection.

@@ -91,8 +91,8 @@ type BlockCost struct {
 	// FwdFlops and BwdFlops are the forward and backward FLOP counts. With
 	// activation checkpointing, the backward pass re-executes the forward
 	// pass, so backward wall time covers BwdFlops+FwdFlops.
-	FwdFlops float64
-	BwdFlops float64
+	FwdFlops FLOPs
+	BwdFlops FLOPs
 	// FwdBytes and BwdBytes are device-memory traffic for memory-bound
 	// blocks (embedding lookup/scatter); compute time is the max of the
 	// FLOP-bound and byte-bound estimates.
@@ -142,9 +142,9 @@ func Embedding(m config.Model, g Geometry) BlockCost {
 	return BlockCost{
 		Kind:       KindEmbedding,
 		Layer:      -1,
-		Efficiency: 1,          // memory-bound: the byte terms dominate
-		FwdFlops:   tokens * h, // position add
-		BwdFlops:   tokens * h,
+		Efficiency: 1,                 // memory-bound: the byte terms dominate
+		FwdFlops:   FLOPs(tokens * h), // position add
+		BwdFlops:   FLOPs(tokens * h),
 		FwdBytes:   3 * tokens * h * bytesFP16,
 		BwdBytes:   4 * tokens * h * bytesFP16,
 		Params:     params,
@@ -173,8 +173,8 @@ func Attention(m config.Model, g Geometry, layer int) BlockCost {
 		Kind:       KindAttention,
 		Layer:      layer,
 		Efficiency: scaledEff(effAttention, m.Hidden),
-		FwdFlops:   fwd,
-		BwdFlops:   2 * fwd,
+		FwdFlops:   FLOPs(fwd),
+		BwdFlops:   FLOPs(2 * fwd),
 		Params:     params,
 		ActStash:   int64(tokens * h * bytesFP16),
 		ActPeak:    int64(peak),
@@ -197,8 +197,8 @@ func FFN(m config.Model, g Geometry, layer int) BlockCost {
 		Kind:       KindFFN,
 		Layer:      layer,
 		Efficiency: scaledEff(effFFN, m.Hidden),
-		FwdFlops:   fwd,
-		BwdFlops:   2 * fwd,
+		FwdFlops:   FLOPs(fwd),
+		BwdFlops:   FLOPs(2 * fwd),
 		Params:     params,
 		ActStash:   int64(tokens * h * bytesFP16),
 		ActPeak:    int64(peak),
@@ -229,8 +229,8 @@ func Head(m config.Model, g Geometry) BlockCost {
 		Kind:       KindHead,
 		Layer:      -1,
 		Efficiency: scaledEff(effHead, m.Hidden),
-		FwdFlops:   fwd,
-		BwdFlops:   2 * fwd,
+		FwdFlops:   FLOPs(fwd),
+		BwdFlops:   FLOPs(2 * fwd),
 		Params:     params,
 		ActStash:   int64(tokens * h * bytesFP16),
 		ActPeak:    int64(peak),
@@ -241,7 +241,7 @@ func Head(m config.Model, g Geometry) BlockCost {
 // FwdTime returns the forward wall time of c on dev in seconds: the max of
 // the compute-bound and memory-bound estimates.
 func (c BlockCost) FwdTime(dev config.Device) float64 {
-	t := c.FwdFlops / (dev.FlopsPerSec * c.eff())
+	t := c.FwdFlops.Float() / (dev.FlopsPerSec * c.eff())
 	if m := c.FwdBytes / dev.MemBandwidth; m > t {
 		t = m
 	}
@@ -259,7 +259,7 @@ func (c BlockCost) eff() float64 {
 // activation checkpointing the forward pass runs again before the backward
 // pass (paper §II-C), so checkpointed backward time covers both.
 func (c BlockCost) BwdTime(dev config.Device, checkpoint bool) float64 {
-	t := c.BwdFlops / (dev.FlopsPerSec * c.eff())
+	t := c.BwdFlops.Float() / (dev.FlopsPerSec * c.eff())
 	if m := c.BwdBytes / dev.MemBandwidth; m > t {
 		t = m
 	}

@@ -54,6 +54,12 @@ type Config struct {
 	// DeviceMap maps schedule device indices to the physical device ids
 	// fault plans reference; nil means the identity mapping.
 	DeviceMap []int
+	// Sanitize threads the runtime happens-before checker (Sanitizer) through
+	// the event loop: every recorded op and transfer is validated against the
+	// schedule dependency model as it happens, and a violation aborts the run
+	// with an error wrapping errdefs.ErrInternal. Exposed as -sanitize on the
+	// CLIs; always on under the package's tests.
+	Sanitize bool
 }
 
 // Validate reports the first structural problem with the config: mismatched
@@ -175,6 +181,13 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		}
 		return d
 	}
+	var san *Sanitizer
+	if cfg.Sanitize || testSanitize {
+		var err error
+		if san, err = newSanitizer(s, cfg); err != nil {
+			return nil, err
+		}
+	}
 	var span *obs.Span
 	if cfg.Obs != nil {
 		span = cfg.Obs.StartSpan("exec.run")
@@ -200,6 +213,11 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		if m.From == m.To {
 			m.Start, m.Free, m.Arrive = m.Ready, m.Ready, m.Ready
 			res.Msgs = append(res.Msgs, m)
+			if san != nil {
+				if err := san.checkMsg(m); err != nil {
+					return 0, err
+				}
+			}
 			return m.Ready, nil
 		}
 		key := [2]int{m.From, m.To}
@@ -232,6 +250,11 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		m.Free = m.Arrive - cfg.Network.Latency
 		linkFree[key] = m.Free
 		res.Msgs = append(res.Msgs, m)
+		if san != nil {
+			if err := san.checkMsg(m); err != nil {
+				return 0, err
+			}
+		}
 		return m.Arrive, nil
 	}
 
@@ -270,6 +293,12 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 					tr.InputReady, tr.InputArrive = input.ready, input.arrival
 				}
 				res.Traces[d] = append(res.Traces[d], tr)
+				if san != nil {
+					if err := san.checkOp(tr); err != nil {
+						endSpan(span)
+						return nil, err
+					}
+				}
 				if d == s.Devices-1 && math.IsNaN(res.Startup) {
 					res.Startup = start - cfg.KernelOverhead
 				}
@@ -288,6 +317,12 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 		}
 	}
 
+	if san != nil {
+		if err := san.finish(); err != nil {
+			endSpan(span)
+			return nil, err
+		}
+	}
 	for _, traces := range res.Traces {
 		for _, tr := range traces {
 			if tr.End > res.IterTime {

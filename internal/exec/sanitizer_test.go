@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"autopipe/internal/config"
+	"autopipe/internal/errdefs"
+	"autopipe/internal/fault"
+	"autopipe/internal/schedule"
+)
+
+// TestMain force-enables the runtime sanitizer for every execution in this
+// package: each Run in every test is validated op-by-op against the schedule
+// dependency model, so an executor regression that still produces a
+// plausible-looking makespan fails loudly here.
+func TestMain(m *testing.M) {
+	testSanitize = true
+	os.Exit(m.Run())
+}
+
+// sanCfg is a non-degenerate config (real payloads, latency, overhead,
+// jitter) so every sanitizer bound is exercised with non-zero slack.
+func sanCfg(p int) Config {
+	cfg := uniformCfg(p, 1e-3, 2e-3)
+	cfg.CommBytes = 1 << 20
+	cfg.Network = config.Network{Bandwidth: 1e10, Latency: 5e-6}
+	cfg.KernelOverhead = 1e-6
+	cfg.Jitter = 0.02
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestSanitizerAcceptsCleanRuns: the live checker and the replay API both
+// pass every schedule family the executor supports.
+func TestSanitizerAcceptsCleanRuns(t *testing.T) {
+	build := []struct {
+		name string
+		mk   func() (*schedule.Schedule, error)
+	}{
+		{"1f1b", func() (*schedule.Schedule, error) { return schedule.OneFOneB(4, 8) }},
+		{"gpipe", func() (*schedule.Schedule, error) { return schedule.GPipe(3, 6) }},
+		{"sliced", func() (*schedule.Schedule, error) { return schedule.Sliced(4, 8, 2) }},
+		{"interleaved", func() (*schedule.Schedule, error) { return schedule.Interleaved(2, 4, 2) }},
+	}
+	for _, b := range build {
+		t.Run(b.name, func(t *testing.T) {
+			s, err := b.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sanCfg(s.VirtStages)
+			cfg.Sanitize = true
+			r, err := Run(s, cfg)
+			if err != nil {
+				t.Fatalf("sanitized run: %v", err)
+			}
+			if err := SanitizeResult(s, cfg, r); err != nil {
+				t.Fatalf("clean trace replay: %v", err)
+			}
+		})
+	}
+}
+
+// TestSanitizeResultForgedDependency plants the canonical happens-before
+// violation: a downstream forward's start is pulled before its upstream
+// producer's compute completes. The replay must reject the trace with
+// errdefs.ErrInternal and name the offending op chain.
+func TestSanitizeResultForgedDependency(t *testing.T) {
+	s, err := schedule.OneFOneB(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(4)
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 1's first forward consumes device 0's first forward output.
+	// Forge it to start before that producer finished computing.
+	forged := r.Traces[1][0]
+	forged.Start = r.Traces[0][0].End / 2
+	forged.End = forged.Start + (r.Traces[1][0].End - r.Traces[1][0].Start)
+	r.Traces[1][0] = forged
+
+	err = SanitizeResult(s, cfg, r)
+	if !errors.Is(err, errdefs.ErrInternal) {
+		t.Fatalf("forged dependency: err = %v, want errdefs.ErrInternal", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "<-") && !strings.Contains(msg, "before") {
+		t.Errorf("violation %q does not describe the offending op chain", msg)
+	}
+}
+
+// TestSanitizeResultForgedLinkOverlap: two messages occupying one link
+// direction at once must be rejected.
+func TestSanitizeResultForgedLinkOverlap(t *testing.T) {
+	s, err := schedule.GPipe(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(2)
+	cfg.CommBytes = 1 << 24 // long serialization so overlap forgery is unambiguous
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the second cross-device transfer on the 0->1 link and slide its
+	// Start into the first transfer's serialization window.
+	n := 0
+	for i := range r.Msgs {
+		m := &r.Msgs[i]
+		if m.From == 0 && m.To == 1 {
+			if n++; n == 2 {
+				shift := m.Start - r.Msgs[i-1].Start - (r.Msgs[i-1].Free-r.Msgs[i-1].Start)/2
+				m.Start -= shift
+				m.Ready = m.Start
+				m.Free -= shift
+				m.Arrive -= shift
+				break
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatal("expected at least two 0->1 transfers")
+	}
+	err = SanitizeResult(s, cfg, r)
+	if !errors.Is(err, errdefs.ErrInternal) {
+		t.Fatalf("overlapping link transfers: err = %v, want errdefs.ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "link") {
+		t.Errorf("violation %q does not mention the link", err)
+	}
+}
+
+// TestSanitizeResultForgedLatency: an arrival that beats the configured link
+// latency floor is physically impossible and must be rejected.
+func TestSanitizeResultForgedLatency(t *testing.T) {
+	s, err := schedule.OneFOneB(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(2)
+	cfg.Network.Latency = 1e-3
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Msgs {
+		if r.Msgs[i].From != r.Msgs[i].To {
+			r.Msgs[i].Arrive = r.Msgs[i].Free // zero-latency arrival
+			break
+		}
+	}
+	if err := SanitizeResult(s, cfg, r); !errors.Is(err, errdefs.ErrInternal) {
+		t.Fatalf("sub-latency arrival: err = %v, want errdefs.ErrInternal", err)
+	}
+}
+
+// TestSanitizeResultForgedIssueOrder: a trace whose device executes ops in a
+// different order than the schedule issues them is rejected.
+func TestSanitizeResultForgedIssueOrder(t *testing.T) {
+	s, err := schedule.OneFOneB(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(2)
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Traces[0][0], r.Traces[0][1] = r.Traces[0][1], r.Traces[0][0]
+	if err := SanitizeResult(s, cfg, r); !errors.Is(err, errdefs.ErrInternal) {
+		t.Fatalf("swapped issue order: err = %v, want errdefs.ErrInternal", err)
+	}
+}
+
+// TestSanitizeResultTruncatedTrace: a trace missing ops fails the
+// end-of-iteration completeness check.
+func TestSanitizeResultTruncatedTrace(t *testing.T) {
+	s, err := schedule.OneFOneB(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(2)
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Traces[1] = r.Traces[1][:len(r.Traces[1])-1]
+	err = SanitizeResult(s, cfg, r)
+	if !errors.Is(err, errdefs.ErrInternal) {
+		t.Fatalf("truncated trace: err = %v, want errdefs.ErrInternal", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "never executed") && !strings.Contains(msg, "never completes") {
+		t.Errorf("violation %q does not report the missing op", msg)
+	}
+}
+
+// TestSanitizerActiveUnderFaults: fault plans rescale compute and bandwidth,
+// so runs under an injector stay sanitizer-clean (ordering and latency bounds
+// still enforced, capacity floors relaxed).
+func TestSanitizerActiveUnderFaults(t *testing.T) {
+	s, err := schedule.Sliced(4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sanCfg(4)
+	cfg.Sanitize = true
+	cfg.Faults = fault.New(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Straggler, At: 0, Device: 2, Factor: 3},
+		{Kind: fault.LinkDegrade, At: 0, From: 0, To: 1, Factor: 0.25},
+	}}, nil)
+	if _, err := Run(s, cfg); err != nil {
+		t.Fatalf("sanitized faulty run: %v", err)
+	}
+}

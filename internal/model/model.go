@@ -112,7 +112,7 @@ func Build(m config.Model, g cost.Geometry, dev config.Device, net config.Networ
 // time: eff = ΣFLOPs / Σ(FLOPs_i / eff_i).
 func mergeLayer(a, f cost.BlockCost, layer int) cost.BlockCost {
 	fwd := a.FwdFlops + f.FwdFlops
-	eff := fwd / (a.FwdFlops/a.Efficiency + f.FwdFlops/f.Efficiency)
+	eff := fwd.Float() / (a.FwdFlops.Float()/a.Efficiency + f.FwdFlops.Float()/f.Efficiency)
 	return cost.BlockCost{
 		Kind:       cost.KindLayer,
 		Layer:      layer,

@@ -1,160 +1,18 @@
 package schedule
 
-import (
-	"fmt"
-	"strings"
-
-	"autopipe/internal/errdefs"
-)
-
 // CheckDeadlock decides statically whether the schedule can run to
-// completion: it builds the dependency graph the discrete-event executor
-// resolves at runtime — per-device issue order, forward activations flowing
-// down the virtual-stage chain, backward gradients flowing back up, and each
-// stage's own forward-before-backward stash dependency — and topologically
-// sorts it. A cycle means every device would eventually sit waiting on a
-// message that can never be sent: the executor's errdefs.ErrDeadlock, caught
-// here without a 30-second run. The returned error wraps
-// errdefs.ErrDeadlock (cycles) or errdefs.ErrBadConfig (a NoSend forward
-// whose payload no AggSend sibling ever carries).
-//
-// The graph intentionally mirrors the executor's blocking semantics:
-//
-//   - ops on one device run in issue order;
-//   - a forward at virtual stage v > 0 needs the matching forward's output
-//     from stage v-1 (both halves, when the producer is sliced and the
-//     consumer is not); a NoSend producer satisfies nothing — its payload
-//     arrives with the sibling half's aggregated send;
-//   - a backward at stage v < V-1 needs the backward gradient from v+1;
-//   - a backward needs its own stage's forward stash.
+// completion: it builds the dependency DAG of the shared dependency model
+// (deps.go — the same edges the runtime sanitizer in package exec verifies
+// executed traces against) and topologically sorts it. A cycle means every
+// device would eventually sit waiting on a message that can never be sent:
+// the executor's errdefs.ErrDeadlock, caught here without a 30-second run.
+// The returned error wraps errdefs.ErrDeadlock (cycles) or
+// errdefs.ErrBadConfig (a structurally broken schedule, e.g. a NoSend
+// forward whose payload no AggSend sibling ever carries).
 func (s *Schedule) CheckDeadlock() error {
-	type opRef struct{ d, i int }
-	type prodKey struct {
-		virt, micro, half int
-		kind              OpKind
+	g, err := s.Dependencies()
+	if err != nil {
+		return err
 	}
-
-	id := func(r opRef) int {
-		n := 0
-		for d := 0; d < r.d; d++ {
-			n += len(s.Ops[d])
-		}
-		return n + r.i
-	}
-	total := 0
-	for d := range s.Ops {
-		total += len(s.Ops[d])
-	}
-	refs := make([]opRef, 0, total)
-	producers := make(map[prodKey]opRef, total)
-	for d, ops := range s.Ops {
-		for i, op := range ops {
-			r := opRef{d, i}
-			refs = append(refs, r)
-			producers[prodKey{op.Virt, op.Micro, op.Half, op.Kind}] = r
-		}
-	}
-
-	succ := make([][]int, total)
-	indeg := make([]int, total)
-	addEdge := func(from opRef, to opRef) {
-		succ[id(from)] = append(succ[id(from)], id(to))
-		indeg[id(to)]++
-	}
-	// Resolve the forward producer that actually delivers (virt, micro,
-	// half) downstream, following a NoSend op to its aggregating sibling.
-	fwdProducer := func(virt, micro, half int) (opRef, error) {
-		r, ok := producers[prodKey{virt, micro, half, Fwd}]
-		if !ok {
-			if r, ok = producers[prodKey{virt, micro, -1, Fwd}]; ok {
-				return r, nil // consumer is sliced, producer is not
-			}
-			return opRef{}, fmt.Errorf("%w: schedule %s: no forward producer for micro %d half %d at virtual stage %d",
-				errdefs.ErrBadConfig, s.Name, micro, half, virt)
-		}
-		if s.Ops[r.d][r.i].NoSend {
-			sib, ok := producers[prodKey{virt, micro, 1 - half, Fwd}]
-			if !ok || !s.Ops[sib.d][sib.i].AggSend {
-				return opRef{}, fmt.Errorf("%w: schedule %s: forward µ%d half %d at virtual stage %d is NoSend with no aggregating sibling",
-					errdefs.ErrBadConfig, s.Name, micro, half, virt)
-			}
-			return sib, nil
-		}
-		return r, nil
-	}
-
-	for d, ops := range s.Ops {
-		for i, op := range ops {
-			cur := opRef{d, i}
-			if i > 0 {
-				addEdge(opRef{d, i - 1}, cur)
-			}
-			switch op.Kind {
-			case Fwd:
-				if op.Virt == 0 {
-					continue
-				}
-				halves := []int{op.Half}
-				if op.Half == -1 {
-					// A full consumer of a sliced producer needs both halves.
-					if _, ok := producers[prodKey{op.Virt - 1, op.Micro, -1, Fwd}]; !ok {
-						halves = []int{0, 1}
-					}
-				}
-				for _, h := range halves {
-					from, err := fwdProducer(op.Virt-1, op.Micro, h)
-					if err != nil {
-						return err
-					}
-					addEdge(from, cur)
-				}
-			case Bwd:
-				if op.Virt < s.VirtStages-1 {
-					from, ok := producers[prodKey{op.Virt + 1, op.Micro, -1, Bwd}]
-					if !ok {
-						return fmt.Errorf("%w: schedule %s: no backward producer for micro %d at virtual stage %d",
-							errdefs.ErrBadConfig, s.Name, op.Micro, op.Virt+1)
-					}
-					addEdge(from, cur)
-				}
-				// Own stage's forward stash (every half that exists).
-				for _, h := range []int{-1, 0, 1} {
-					if from, ok := producers[prodKey{op.Virt, op.Micro, h, Fwd}]; ok {
-						addEdge(from, cur)
-					}
-				}
-			}
-		}
-	}
-
-	// Kahn's algorithm; whatever cannot be scheduled is (part of) a cycle.
-	queue := make([]int, 0, total)
-	for n, deg := range indeg {
-		if deg == 0 {
-			queue = append(queue, n)
-		}
-	}
-	scheduled := 0
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		scheduled++
-		for _, m := range succ[n] {
-			if indeg[m]--; indeg[m] == 0 {
-				queue = append(queue, m)
-			}
-		}
-	}
-	if scheduled == total {
-		return nil
-	}
-	var stuck []string
-	for n, deg := range indeg {
-		if deg > 0 && len(stuck) < 6 {
-			r := refs[n]
-			stuck = append(stuck, fmt.Sprintf("%v (device %d op %d)", s.Ops[r.d][r.i], r.d, r.i))
-		}
-	}
-	return fmt.Errorf("%w: schedule %s: %d ops in a dependency cycle: %s",
-		errdefs.ErrDeadlock, s.Name, total-scheduled, strings.Join(stuck, ", "))
+	return g.Acyclic()
 }

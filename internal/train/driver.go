@@ -96,6 +96,12 @@ type DriverConfig struct {
 	// from the candidate count instead of wall clock keeps recovery
 	// trajectories deterministic.
 	ReplanCandidateCost float64
+
+	// Sanitize threads the executor's runtime happens-before checker through
+	// every timing execution (measured and reference); a violation aborts
+	// training with an error wrapping errdefs.ErrInternal. The package's
+	// tests always set it.
+	Sanitize bool
 }
 
 func (cfg DriverConfig) withDefaults() DriverConfig {
@@ -362,6 +368,7 @@ func (d *driver) runExec() (*exec.Result, error) {
 		Faults:         d.inj,
 		Start:          d.clock,
 		DeviceMap:      d.devices,
+		Sanitize:       d.cfg.Sanitize,
 	})
 }
 
@@ -382,6 +389,7 @@ func (d *driver) referenceTime() float64 {
 		CommBytes:      d.blocks.List[0].OutBytes,
 		Network:        d.cfg.Cluster.Network,
 		KernelOverhead: d.cfg.Cluster.Device.KernelOverhead,
+		Sanitize:       d.cfg.Sanitize,
 	})
 	if err != nil {
 		return 0

@@ -40,6 +40,7 @@ func driverCfg(steps int) DriverConfig {
 		Steps:    steps,
 		LR:       2e-3,
 		DataSeed: 3,
+		Sanitize: true,
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke fault-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 lint:
 	$(GO) build -o bin/autopipelint ./cmd/autopipelint
 	$(GO) vet -vettool=$(abspath bin/autopipelint) ./...
-	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata
+	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata ./BENCH_baseline.json
 
 # sanitize executes the README quickstart schedules with the runtime
 # happens-before sanitizer on: every op is checked against the dependency
@@ -53,10 +53,21 @@ race:
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/plan/... ./internal/exec/... ./internal/train/...
 
-# bench-smoke compiles and runs every planner benchmark exactly once
-# (correctness smoke, not a measurement); the -run filter skips the tests.
+# bench-smoke compiles and runs every micro-benchmark exactly once — planner,
+# exec event loop, schedule dependency graphs, slicer, obs registry — then
+# drives the autopipebench suite in one-iteration mode and self-compares the
+# result (correctness smoke, not a measurement); the -run filter skips tests.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=Plan -benchtime=1x ./...
+	@mkdir -p bin
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/autopipebench -label smoke -o bin/BENCH_smoke.json -benchtime 1x
+	$(GO) run ./cmd/autopipebench compare bin/BENCH_smoke.json bin/BENCH_smoke.json
+
+# bench-baseline refreshes the checked-in perf trajectory at full benchtime.
+# Run on a quiet machine, eyeball the compare report against the old numbers,
+# and commit the file (DESIGN.md §13).
+bench-baseline:
+	$(GO) run ./cmd/autopipebench -label baseline -o BENCH_baseline.json
 
 # fault-smoke executes a schedule under the checked-in basic fault plan —
 # the README's resilience quickstart must keep working end to end.

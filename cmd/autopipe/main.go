@@ -42,7 +42,13 @@ func main() {
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	ff := cliutil.RegisterFaults(flag.CommandLine)
 	ef := cliutil.RegisterExec(flag.CommandLine)
+	prof := cliutil.RegisterProfile(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fail(err)
+	}
 
 	fplan, err := ff.Load()
 	if err != nil {
@@ -106,6 +112,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("plan written to %s\n", *jsonPath)
+	}
+	if err := stopProf(); err != nil {
+		fail(err)
 	}
 }
 

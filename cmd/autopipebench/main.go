@@ -1,0 +1,147 @@
+// Command autopipebench measures the repository's hot paths and pins the
+// results as a BENCH_<label>.json baseline: plan-search throughput through the
+// public Planner, the exec event loop with the sanitizer on, schedule
+// dependency-graph construction, the Slicer, and the obs registry's own
+// overhead. Each entry records ns/op, allocs/op, and B/op from
+// testing.Benchmark plus custom metrics (cache-hit ratio, pruned depths,
+// executor ops/sec) pulled from the obs registry after the measured run.
+//
+// Usage:
+//
+//	autopipebench [-label dev] [-o BENCH_dev.json] [-benchtime 1x] \
+//	              [-match exec] [-parallelism N] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	autopipebench compare OLD.json NEW.json [-report-only] \
+//	              [-ns-pct 0.30] [-allocs-pct 0.10] [-bytes-pct 0.25] [-custom-pct 0.25]
+//
+// The first form runs the suite and writes the baseline; the second diffs two
+// baselines under per-metric thresholds, prints the report, and exits 1 when
+// any metric degraded past its threshold (0 with -report-only, which prints
+// the same report but never gates — CI uses it against the checked-in
+// BENCH_baseline.json because shared runners jitter too much to gate on).
+// Exit status 2 means bad usage or an unreadable baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"autopipe/internal/bench"
+	"autopipe/internal/cliutil"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind an exit code, so tests can drive both modes
+// without building or exec-ing the binary.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], stdout, stderr)
+	}
+	return runSuite(args, stdout, stderr)
+}
+
+func runSuite(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("autopipebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "dev", "baseline label; also names the default output file")
+	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
+	benchtime := fs.String("benchtime", "", "per-benchmark time or count, e.g. 2s or 1x (empty = testing's 1s default)")
+	match := fs.String("match", "", "only run suite entries whose name contains this substring")
+	parallelism := fs.Int("parallelism", 0, "planner search workers for the plan-search entry (0 = one per CPU)")
+	prof := cliutil.RegisterProfile(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "autopipebench: unexpected arguments %q (did you mean the compare subcommand?)\n", fs.Args())
+		return 2
+	}
+	if *benchtime != "" {
+		// testing.Benchmark reads the test.benchtime flag registered by
+		// testing.Init — the supported way to shorten runs from a non-test
+		// binary (CI smoke mode passes -benchtime=1x).
+		testing.Init()
+		f := flag.CommandLine.Lookup("test.benchtime")
+		if f == nil {
+			fmt.Fprintln(stderr, "autopipebench: testing flags unavailable; cannot set -benchtime")
+			return 2
+		}
+		if err := f.Value.Set(*benchtime); err != nil {
+			fmt.Fprintf(stderr, "autopipebench: bad -benchtime %q: %v\n", *benchtime, err)
+			return 2
+		}
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 1
+	}
+	opts := bench.Options{Parallelism: *parallelism, Progress: stdout}
+	if *match != "" {
+		opts.Match = func(name string) bool { return strings.Contains(name, *match) }
+	}
+	base, err := bench.RunSuite(*label, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 1
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 1
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := base.WriteFile(path); err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "baseline (%d benchmarks, %s) written to %s\n", len(base.Benchmarks), base.GoVersion, path)
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("autopipebench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	reportOnly := fs.Bool("report-only", false, "print the comparison but always exit 0 (CI smoke mode)")
+	th := bench.DefaultThresholds()
+	fs.Float64Var(&th.NsPct, "ns-pct", th.NsPct, "relative ns/op regression threshold")
+	fs.Float64Var(&th.AllocsPct, "allocs-pct", th.AllocsPct, "relative allocs/op regression threshold")
+	fs.Float64Var(&th.BytesPct, "bytes-pct", th.BytesPct, "relative B/op regression threshold")
+	fs.Float64Var(&th.CustomPct, "custom-pct", th.CustomPct, "relative threshold for gated custom metrics (cache_hit_ratio, *_per_sec)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: autopipebench compare OLD.json NEW.json [flags]")
+		return 2
+	}
+	old, err := bench.LoadBaseline(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 2
+	}
+	fresh, err := bench.LoadBaseline(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 2
+	}
+	rep, err := bench.Compare(old, fresh, th)
+	if err != nil {
+		fmt.Fprintln(stderr, "autopipebench:", err)
+		return 2
+	}
+	rep.Format(stdout)
+	if len(rep.Regressions()) > 0 && !*reportOnly {
+		return 1
+	}
+	return 0
+}

@@ -28,7 +28,14 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	ff := cliutil.RegisterFaults(flag.CommandLine)
+	prof := cliutil.RegisterProfile(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	env := experiments.DefaultEnv()
 	env.Search = pf.Options()
@@ -108,5 +115,9 @@ func main() {
 			}
 			f.Close()
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

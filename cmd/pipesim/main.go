@@ -71,7 +71,13 @@ func main() {
 	pf := cliutil.RegisterPlanner(flag.CommandLine)
 	ff := cliutil.RegisterFaults(flag.CommandLine)
 	ef := cliutil.RegisterExec(flag.CommandLine)
+	prof := cliutil.RegisterProfile(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fail(err)
+	}
 
 	plan, err := ff.Load()
 	if err != nil {
@@ -263,6 +269,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("metrics report written to %s\n", *metricsPath)
+	}
+	if err := stopProf(); err != nil {
+		fail(err)
 	}
 }
 

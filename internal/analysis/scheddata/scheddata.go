@@ -19,6 +19,10 @@
 //   - "bounds" (+ "blocks", "stageDevices"): a partition-plan document;
 //     bounds must form a valid partition of the block count and the device
 //     counts must be positive.
+//   - "benchmarks" (+ "suite"): a BENCH_*.json performance baseline; it must
+//     satisfy bench.ParseBaseline (DisallowUnknownFields, unique entry
+//     names, positive iteration counts, finite metrics) so a typo in a
+//     checked-in baseline cannot silently become a missing metric.
 //   - "traceEvents" or anything else: not ours — skipped, not failed, so
 //     Chrome traces and other goldens can live beside schedule fixtures.
 package scheddata
@@ -34,6 +38,7 @@ import (
 	"strings"
 
 	"autopipe/internal/analysis"
+	"autopipe/internal/bench"
 	"autopipe/internal/fault"
 	"autopipe/internal/partition"
 	"autopipe/internal/schedule"
@@ -114,6 +119,8 @@ func CheckFile(path string) ([]analysis.Diagnostic, error) {
 		return checkFaults(path, data), nil
 	case has(probe, "bounds") && has(probe, "stageDevices"):
 		return checkPlan(path, data), nil
+	case has(probe, "benchmarks") && has(probe, "suite"):
+		return checkBench(path, data), nil
 	default:
 		return nil, nil // a trace golden, metrics dump, or foreign file
 	}
@@ -144,6 +151,13 @@ func checkSchedule(path string, data []byte) []analysis.Diagnostic {
 func checkFaults(path string, data []byte) []analysis.Diagnostic {
 	if _, err := fault.Parse(data); err != nil {
 		return []analysis.Diagnostic{diag(path, "malformed fault plan: %v", err)}
+	}
+	return nil
+}
+
+func checkBench(path string, data []byte) []analysis.Diagnostic {
+	if _, err := bench.ParseBaseline(data); err != nil {
+		return []analysis.Diagnostic{diag(path, "malformed bench baseline: %v", err)}
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"autopipe/internal/errdefs"
+)
+
+// Thresholds sets the per-metric regression gates for Compare. A lower-is-
+// better metric regresses when new > old*(1+Pct) + Abs; a higher-is-better
+// metric when new < old*(1-Pct) - Abs. The absolute slack keeps tiny
+// baselines (a 2 ns registry op, a 0-alloc fast path) from tripping on
+// measurement noise while still catching real drift.
+type Thresholds struct {
+	NsPct, NsAbs         float64
+	AllocsPct, AllocsAbs float64
+	BytesPct, BytesAbs   float64
+	// CustomPct gates the directional custom metrics (cache_hit_ratio,
+	// ops_per_sec); non-directional custom metrics are reported, not gated.
+	CustomPct float64
+}
+
+// DefaultThresholds are deliberately loose on wall-clock (shared CI runners
+// jitter) and tight on allocation counts (deterministic in Go): +30% ns/op,
+// +10% allocs/op with half-an-alloc slack, +25% B/op.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		NsPct: 0.30, NsAbs: 50,
+		AllocsPct: 0.10, AllocsAbs: 0.5,
+		BytesPct: 0.25, BytesAbs: 64,
+		CustomPct: 0.25,
+	}
+}
+
+// customDirection classifies a custom metric: +1 when higher is better, -1
+// when lower is better, 0 when it is an informational anchor (exact counts
+// like candidates_per_plan or graph_ops, reported but never gated).
+func customDirection(name string) int {
+	switch {
+	case name == "cache_hit_ratio", strings.HasSuffix(name, "_per_sec"):
+		return +1
+	default:
+		return 0
+	}
+}
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	// Bench and Metric name the comparison ("exec/1f1b_p8_m32_sanitized",
+	// "nsPerOp" or a custom metric name).
+	Bench  string
+	Metric string
+	Old    float64
+	New    float64
+	// Regressed reports that the change crossed the metric's threshold in
+	// the bad direction.
+	Regressed bool
+	// Info marks a non-gated metric (informational custom anchors).
+	Info bool
+}
+
+// Pct returns the relative change in percent (positive = increased), or 0
+// when the old value is 0.
+func (d Delta) Pct() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return 100 * (d.New - d.Old) / d.Old
+}
+
+// Report is the outcome of comparing two baselines.
+type Report struct {
+	OldLabel, NewLabel string
+	Deltas             []Delta
+	// MissingInNew lists benchmarks present only in the old baseline (a
+	// shrunk suite); AddedInNew the converse. Neither gates by itself, but
+	// both are printed so a silently dropped benchmark is visible.
+	MissingInNew []string
+	AddedInNew   []string
+}
+
+// Regressions returns the deltas that crossed their thresholds.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two baselines metric by metric under the given thresholds.
+// Baselines from different suite versions refuse to compare (wrapping
+// errdefs.ErrBadConfig): the entries would not be measuring the same thing.
+func Compare(old, new *Baseline, th Thresholds) (*Report, error) {
+	if old.Suite != new.Suite {
+		return nil, fmt.Errorf("%w: bench: cannot compare suite %q against %q — refresh the baseline",
+			errdefs.ErrBadConfig, old.Suite, new.Suite)
+	}
+	rep := &Report{OldLabel: old.Label, NewLabel: new.Label}
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, oe := range old.Benchmarks {
+		seen[oe.Name] = true
+		ne := new.Entry(oe.Name)
+		if ne == nil {
+			rep.MissingInNew = append(rep.MissingInNew, oe.Name)
+			continue
+		}
+		rep.Deltas = append(rep.Deltas,
+			lowerBetter(oe.Name, "nsPerOp", oe.NsPerOp, ne.NsPerOp, th.NsPct, th.NsAbs),
+			lowerBetter(oe.Name, "allocsPerOp", oe.AllocsPerOp, ne.AllocsPerOp, th.AllocsPct, th.AllocsAbs),
+			lowerBetter(oe.Name, "bytesPerOp", oe.BytesPerOp, ne.BytesPerOp, th.BytesPct, th.BytesAbs),
+		)
+		for _, name := range sortedMetricNames(oe.Custom) {
+			ov := oe.Custom[name]
+			nv, ok := ne.Custom[name]
+			if !ok {
+				rep.Deltas = append(rep.Deltas, Delta{Bench: oe.Name, Metric: name, Old: ov, New: math.NaN(), Info: true})
+				continue
+			}
+			switch customDirection(name) {
+			case +1:
+				d := Delta{Bench: oe.Name, Metric: name, Old: ov, New: nv}
+				d.Regressed = nv < ov*(1-th.CustomPct)
+				rep.Deltas = append(rep.Deltas, d)
+			default:
+				rep.Deltas = append(rep.Deltas, Delta{Bench: oe.Name, Metric: name, Old: ov, New: nv, Info: true})
+			}
+		}
+	}
+	for _, ne := range new.Benchmarks {
+		if !seen[ne.Name] {
+			rep.AddedInNew = append(rep.AddedInNew, ne.Name)
+		}
+	}
+	return rep, nil
+}
+
+func lowerBetter(bench, metric string, old, new, pct, abs float64) Delta {
+	return Delta{
+		Bench: bench, Metric: metric, Old: old, New: new,
+		Regressed: new > old*(1+pct)+abs,
+	}
+}
+
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	// Insertion sort: the maps hold a handful of metrics, and keeping the
+	// output deterministic matters more than asymptotics.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Format writes the human-readable comparison: one line per metric with the
+// relative change, regressions marked, then the suite-shape differences and
+// a verdict line.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "comparing %q (old) vs %q (new)\n", r.OldLabel, r.NewLabel)
+	for _, d := range r.Deltas {
+		mark := " "
+		switch {
+		case d.Regressed:
+			mark = "✗"
+		case d.Info:
+			mark = "·"
+		}
+		if math.IsNaN(d.New) {
+			fmt.Fprintf(w, "  %s %-34s %-24s %14.4g -> (missing)\n", mark, d.Bench, d.Metric, d.Old)
+			continue
+		}
+		fmt.Fprintf(w, "  %s %-34s %-24s %14.4g -> %-14.4g %+7.1f%%\n", mark, d.Bench, d.Metric, d.Old, d.New, d.Pct())
+	}
+	for _, name := range r.MissingInNew {
+		fmt.Fprintf(w, "  ! %s: present in old baseline only\n", name)
+	}
+	for _, name := range r.AddedInNew {
+		fmt.Fprintf(w, "  + %s: new benchmark (no old baseline)\n", name)
+	}
+	if reg := r.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(w, "REGRESSED: %d metric(s) past threshold\n", len(reg))
+	} else {
+		fmt.Fprintln(w, "OK: no metric past threshold")
+	}
+}

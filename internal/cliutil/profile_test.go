@@ -1,0 +1,64 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsDisabledIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := RegisterProfile(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFlagsCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := RegisterProfile(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little allocation so the heap profile has something to say.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1024)
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfileFlagsBadPath(t *testing.T) {
+	pf := &ProfileFlags{CPUPath: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := pf.Start(); err == nil {
+		t.Error("Start with unwritable cpu path succeeded")
+	}
+}

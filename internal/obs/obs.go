@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,6 +113,14 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[bucketOf(v)]++
 }
 
+// Bucket is one cumulative histogram bucket: Count observations were less
+// than or equal to LE. Buckets are the Prometheus exposition's native shape;
+// only non-empty buckets are exported.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
 // Stat summarizes a histogram at snapshot time.
 type Stat struct {
 	Count int64   `json:"count"`
@@ -121,6 +130,10 @@ type Stat struct {
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
 	P99   float64 `json:"p99"`
+	// Buckets holds the cumulative distribution over the power-of-two bucket
+	// bounds, one entry per non-empty bucket (the final entry's Count equals
+	// Count). WritePrometheus renders these as <name>_bucket{le="..."} lines.
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Stat returns the current summary.
@@ -132,6 +145,14 @@ func (h *Histogram) Stat() Stat {
 		s.Mean = h.sum / float64(h.count)
 		s.P50 = h.quantileLocked(0.50)
 		s.P99 = h.quantileLocked(0.99)
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		s.Buckets = append(s.Buckets, Bucket{LE: math.Pow(2, float64(i-histShift)), Count: cum})
 	}
 	return s
 }
@@ -168,7 +189,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	sink     Sink
-	now      func() time.Time
+	// hasSink mirrors sink != nil so the emission hot path can bail out
+	// without taking the lock (or allocating anything at all).
+	hasSink atomic.Bool
+	now     func() time.Time
 }
 
 // NewRegistry returns an empty registry with no event sink.
@@ -221,12 +245,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) SetSink(s Sink) {
 	r.mu.Lock()
 	r.sink = s
+	r.hasSink.Store(s != nil)
 	r.mu.Unlock()
 }
 
+// HasSink reports whether an event sink is installed. Emission call sites on
+// hot paths check it before building a Fields map, so a registry with no sink
+// costs nothing per event.
+func (r *Registry) HasSink() bool { return r.hasSink.Load() }
+
 // Emit sends a structured event to the sink, if one is installed. Fields are
-// shallow-copied so callers may reuse their map.
+// shallow-copied so callers may reuse their map. With no sink installed the
+// call allocates nothing and returns immediately.
 func (r *Registry) Emit(name string, fields Fields) {
+	if !r.hasSink.Load() {
+		return
+	}
 	r.mu.Lock()
 	sink, now := r.sink, r.now()
 	r.mu.Unlock()
@@ -238,6 +272,19 @@ func (r *Registry) Emit(name string, fields Fields) {
 		cp[k] = v
 	}
 	sink.Emit(Event{Time: now, Name: name, Fields: cp})
+}
+
+// Reset drops every counter, gauge, and histogram, returning the registry to
+// its post-NewRegistry state; the sink and clock stay installed. Metric
+// handles obtained before the reset keep working but are detached — they no
+// longer appear in snapshots. Benchmark harnesses reset between suite entries
+// so one entry's counts cannot leak into the next.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.mu.Unlock()
 }
 
 // Span is an in-flight wall-clock measurement started by StartSpan.
@@ -257,7 +304,9 @@ func (r *Registry) StartSpan(name string) *Span {
 func (s *Span) End() time.Duration {
 	d := s.reg.now().Sub(s.start)
 	s.reg.Histogram(s.name + ".seconds").Observe(d.Seconds())
-	s.reg.Emit(s.name, Fields{"seconds": d.Seconds()})
+	if s.reg.HasSink() {
+		s.reg.Emit(s.name, Fields{"seconds": d.Seconds()})
+	}
 	return d
 }
 

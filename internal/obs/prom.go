@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// This file is the stdlib-only Prometheus bridge: Snapshot.WritePrometheus
+// renders a registry snapshot in the text exposition format (version 0.0.4),
+// and Handler mounts it on an http.Handler so a daemon can serve /metrics.
+//
+// Mapping:
+//
+//   - counters export as "<name>_total" with TYPE counter;
+//   - gauges export as "<name>" with TYPE gauge;
+//   - histograms export as TYPE histogram: one cumulative
+//     "<name>_bucket{le="..."}" line per non-empty power-of-two bucket, a
+//     closing le="+Inf" line, then "<name>_sum" and "<name>_count".
+//
+// Metric names are sanitized to the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* (dots become underscores, a leading digit gains an
+// underscore prefix); the # HELP line carries the original dotted name so the
+// registry metric is recoverable from the exposition. Two registry names that
+// sanitize identically would collide in the output; registry names are
+// dotted-lowercase by convention, so this does not happen in practice.
+
+// ContentTypePrometheus is the Content-Type of the text exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a registry metric name into the Prometheus identifier
+// grammar: every character outside [a-zA-Z0-9_:] becomes '_', and a name
+// starting with a digit is prefixed with '_'. An empty name sanitizes to "_".
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promFloat formats a sample value the way Prometheus expects: shortest
+// round-trip decimal, with the spelled-out specials +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, deterministically: counters, then gauges, then histograms, each in
+// lexical registry-name order with # HELP and # TYPE headers.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		pn := PromName(name) + "_total"
+		bw.WriteString("# HELP " + pn + " " + name + "\n")
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + promFloat(s.Counters[name]) + "\n")
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := PromName(name)
+		bw.WriteString("# HELP " + pn + " " + name + "\n")
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + promFloat(s.Gauges[name]) + "\n")
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		st := s.Histograms[name]
+		pn := PromName(name)
+		bw.WriteString("# HELP " + pn + " " + name + "\n")
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		for _, b := range st.Buckets {
+			bw.WriteString(pn + "_bucket{le=\"" + promFloat(b.LE) + "\"} " + strconv.FormatInt(b.Count, 10) + "\n")
+		}
+		bw.WriteString(pn + "_bucket{le=\"+Inf\"} " + strconv.FormatInt(st.Count, 10) + "\n")
+		bw.WriteString(pn + "_sum " + promFloat(st.Sum) + "\n")
+		bw.WriteString(pn + "_count " + strconv.FormatInt(st.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler that serves reg's current snapshot in the
+// Prometheus text exposition format — the endpoint a planner daemon mounts at
+// /metrics. Write errors are dropped: an observability endpoint must never
+// fail the observed process, and the scraper sees the truncation.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+}

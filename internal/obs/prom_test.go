@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds the registry behind the golden exposition: a counter
+// needing name sanitization, a plain counter, a gauge, and a histogram whose
+// three observations land in three distinct power-of-two buckets.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("9weird.metric-x").Add(3)
+	r.Counter("exec.ops").Add(42)
+	r.Gauge("exec.iter_time_s").Set(1.5)
+	h := r.Histogram("plan.seconds")
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(2)
+	return r
+}
+
+const promGolden = `# HELP _9weird_metric_x_total 9weird.metric-x
+# TYPE _9weird_metric_x_total counter
+_9weird_metric_x_total 3
+# HELP exec_ops_total exec.ops
+# TYPE exec_ops_total counter
+exec_ops_total 42
+# HELP exec_iter_time_s exec.iter_time_s
+# TYPE exec_iter_time_s gauge
+exec_iter_time_s 1.5
+# HELP plan_seconds plan.seconds
+# TYPE plan_seconds histogram
+plan_seconds_bucket{le="0.5"} 1
+plan_seconds_bucket{le="1"} 2
+plan_seconds_bucket{le="2"} 3
+plan_seconds_bucket{le="+Inf"} 3
+plan_seconds_sum 3.5
+plan_seconds_count 3
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := promRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != promGolden {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, promGolden)
+	}
+}
+
+func TestPromHandlerRoundTrip(t *testing.T) {
+	reg := promRegistry()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypePrometheus {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentTypePrometheus)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if got := sb.String(); got != promGolden {
+		t.Errorf("served exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, promGolden)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"exec.ops", "exec_ops"},
+		{"planner.p4.final_iter_s", "planner_p4_final_iter_s"},
+		{"9lives", "_9lives"},
+		{"a-b/c d", "a_b_c_d"},
+		{"colon:ok", "colon:ok"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{1.25, "1.25"},
+		{1e-9, "1e-09"},
+	}
+	for _, c := range cases {
+		if got := promFloat(c.in); got != c.want {
+			t.Errorf("promFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q, want NaN", got)
+	}
+}
+
+// TestStatBucketsCumulative pins the bucket export WritePrometheus consumes:
+// cumulative counts over non-empty power-of-two bounds, last equal to Count.
+func TestStatBucketsCumulative(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{0.5, 0.5, 1, 2, 1000} {
+		h.Observe(v)
+	}
+	st := h.Stat()
+	want := []Bucket{{0.5, 2}, {1, 3}, {2, 4}, {1024, 5}}
+	if len(st.Buckets) != len(want) {
+		t.Fatalf("got %d buckets %v, want %v", len(st.Buckets), st.Buckets, want)
+	}
+	for i, b := range st.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if last := st.Buckets[len(st.Buckets)-1].Count; last != st.Count {
+		t.Errorf("last cumulative bucket %d != count %d", last, st.Count)
+	}
+}

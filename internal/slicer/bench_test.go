@@ -1,0 +1,40 @@
+package slicer
+
+import (
+	"fmt"
+	"testing"
+
+	"autopipe/internal/sim"
+)
+
+// Algorithm 2 runs once per planned configuration (and once per driver
+// re-plan after a fault), so its cost at realistic depths is pinned in
+// BENCH_*.json via cmd/autopipebench.
+
+// benchProfile builds a mildly unbalanced profile: slicing is only
+// interesting when stages differ, and the imbalance keeps the while loop from
+// converging on the first round.
+func benchProfile(p, m int) sim.StageProfile {
+	f := make([]float64, p)
+	b := make([]float64, p)
+	for i := range f {
+		f[i] = 0.010 + 0.002*float64(i%4)
+		b[i] = 2 * f[i]
+	}
+	return sim.StageProfile{Fwd: f, Bwd: b, Comm: 0.003, Micro: m}
+}
+
+func BenchmarkSolveProfile(b *testing.B) {
+	for _, tc := range []struct{ p, m int }{{4, 16}, {16, 256}} {
+		b.Run(fmt.Sprintf("p%d_m%d", tc.p, tc.m), func(b *testing.B) {
+			prof := benchProfile(tc.p, tc.m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveProfile(prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 lint:
 	$(GO) build -o bin/autopipelint ./cmd/autopipelint
 	$(GO) vet -vettool=$(abspath bin/autopipelint) ./...
-	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata ./BENCH_baseline.json
+	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata ./BENCH_baseline.json ./BENCH_service.json
 
 # sanitize executes the README quickstart schedules with the runtime
 # happens-before sanitizer on: every op is checked against the dependency
@@ -74,6 +74,18 @@ bench-baseline:
 fault-smoke:
 	$(GO) run ./cmd/pipesim -model gpt2-345m -stages 4 -mbs 4 -micro 8 -faults testdata/faults_basic.json
 
+# service-smoke boots the autopiped daemon end to end — plan over HTTP,
+# cache-hit equality, singleflight counter audit, typed wire rejection,
+# /metrics and pprof probes — first memory-only, then with a job store to
+# prove restart-resume (the restarted daemon must answer from the replayed
+# cache with zero engine searches). DESIGN.md §14.
+service-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/autopiped ./cmd/autopiped
+	./bin/autopiped -smoke
+	rm -rf bin/service-smoke-store
+	./bin/autopiped -smoke -store bin/service-smoke-store
+
 # fmt-check fails (with the offending files listed) if anything is not
 # gofmt-clean.
 fmt-check:
@@ -88,10 +100,10 @@ tier1: build test
 # verify runs everything CI would: formatting, static analysis (go vet plus
 # the autopipelint invariant suite), the full test suite under the race
 # detector, the deep race pass over the planner engine, a one-shot benchmark
-# smoke, the fault-injection smoke, the sanitized executions, and the tier-1
-# gate. (CI additionally runs fuzz-smoke, kept out of verify so the local
-# gate stays fast.)
-verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke sanitize
+# smoke, the fault-injection smoke, the service smoke, the sanitized
+# executions, and the tier-1 gate. (CI additionally runs fuzz-smoke, kept
+# out of verify so the local gate stays fast.)
+verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke service-smoke sanitize
 
 clean:
 	$(GO) clean ./...

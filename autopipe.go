@@ -8,8 +8,12 @@
 //	model := autopipe.GPT2_345M()
 //	cluster := autopipe.DefaultCluster()
 //	run := autopipe.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
-//	spec, blocks, err := autopipe.Plan(model, run, cluster)   // Planner + Slicer
+//	planner := autopipe.NewPlanner()
+//	spec, blocks, err := planner.Plan(ctx, model, run, cluster)  // Planner + Slicer
 //	result, err := autopipe.Evaluate(spec, blocks, run, cluster) // simulated testbed
+//
+// The same planner also runs as a long-lived daemon (cmd/autopiped) with a
+// content-addressed plan cache; package client is its Go API.
 //
 // Plan produces a balanced pipeline partition (heuristic master-stage search
 // seeded by the Algorithm 1 dynamic program, assessed by the analytic 1F1B
@@ -82,6 +86,7 @@ func DefaultCluster() Cluster { return config.DefaultCluster() }
 // Deprecated: use NewPlanner().Plan, which adds cancellation, parallel
 // candidate evaluation, and search options. Plan is equivalent to
 // NewPlanner(WithParallelism(1)).Plan(context.Background(), ...).
+// Scheduled for removal in v1.0; no in-repo code calls it anymore.
 func Plan(m Model, run Run, cluster Cluster) (*Spec, *Blocks, error) {
 	return core.PlanCluster(m, run, cluster)
 }
@@ -92,6 +97,7 @@ func Plan(m Model, run Run, cluster Cluster) (*Spec, *Blocks, error) {
 //
 // Deprecated: use NewPlanner().PlanDepth, which adds cancellation, parallel
 // candidate evaluation, and search options.
+// Scheduled for removal in v1.0; no in-repo code calls it anymore.
 func PlanDepth(bl *Blocks, depth, micro int) (*core.PlanResult, error) {
 	return core.PlanDepth(bl, depth, micro)
 }
@@ -107,6 +113,7 @@ func Build(m Model, microBatch int, cluster Cluster) (*Blocks, error) {
 // per-stage forward/backward times.
 //
 // Deprecated: use SimulateProfile with a StageProfile value.
+// Scheduled for removal in v1.0; no in-repo code calls it anymore.
 func Simulate(f, b []float64, comm float64, micro int) (*SimResult, error) {
 	return sim.SimulateProfile(StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: micro})
 }
@@ -115,6 +122,7 @@ func Simulate(f, b []float64, comm float64, micro int) (*SimResult, error) {
 // forwards should be split in half to hide the pipeline startup overhead.
 //
 // Deprecated: use SliceProfile with a StageProfile value.
+// Scheduled for removal in v1.0; no in-repo code calls it anymore.
 func Slice(f, b []float64, comm float64, micro int) (SlicePlan, error) {
 	return slicer.SolveProfile(StageProfile{Fwd: f, Bwd: b, Comm: comm, Micro: micro})
 }

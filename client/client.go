@@ -1,0 +1,359 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"autopipe"
+)
+
+// Client talks to an autopiped daemon. The zero value is not usable; call
+// New. A Client is immutable after construction and safe for concurrent use
+// (it holds no per-request state), mirroring the Planner's contract.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	budget  int
+	// sleep is swapped out by tests so retry/backoff runs instantly.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Option configures a Client at construction, in the same functional-option
+// style as autopipe.NewPlanner.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (connection pools,
+// TLS, proxies). The default is a client with a 60s overall timeout.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries sets how many times a failed request is retried (default 2,
+// so up to 3 attempts). Only transport errors and retryable statuses —
+// 503 unavailable and 5xx — are retried; a typed 4xx/422 rejection is final.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the base retry backoff (default 100ms). Attempt k sleeps
+// base<<k, capped at 5s; the sleep is cut short by context cancellation.
+func WithBackoff(base time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// WithTimeout bounds each HTTP attempt (not the whole retry loop — bound
+// that with the caller's context). It replaces the http.Client timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		hc := *c.hc
+		hc.Timeout = d
+		c.hc = &hc
+	}
+}
+
+// WithSearchBudget caps the candidate partitions the daemon's search may
+// simulate on this client's plan jobs (0 = unlimited), mirroring
+// autopipe.WithSearchBudget. The budget is part of the plan's cache key.
+func WithSearchBudget(candidates int) Option {
+	return func(c *Client) { c.budget = candidates }
+}
+
+// New returns a Client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7433"). The URL must be absolute; a trailing slash is
+// trimmed. Errors wrap autopipe.ErrBadConfig.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("%w: client: bad base URL %q: %v", autopipe.ErrBadConfig, baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("%w: client: base URL %q must be absolute (http://host:port)", autopipe.ErrBadConfig, baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 60 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+		sleep:   sleepCtx,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Plan submits a plan job and waits for its result: the daemon-side
+// equivalent of autopipe.NewPlanner(...).Plan. The returned Job carries the
+// cache metadata (Key, CacheHit, Shared); the block array is rebuilt locally
+// with autopipe.Build when needed. Failures are errors.Is-compatible with
+// the in-process sentinels.
+func (c *Client) Plan(ctx context.Context, m autopipe.Model, run autopipe.Run, cluster autopipe.Cluster) (*autopipe.Spec, *Job, error) {
+	job, err := c.Submit(ctx, SubmitRequest{
+		Kind: KindPlan,
+		Plan: &PlanPayload{Model: m, Run: run, Cluster: cluster, Budget: c.budget},
+	})
+	if err != nil {
+		return nil, job, err
+	}
+	var res PlanResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		return nil, job, fmt.Errorf("%w: client: undecodable plan result: %v", autopipe.ErrInternal, err)
+	}
+	return res.Spec, job, nil
+}
+
+// Simulate runs the analytic 1F1B simulator on the daemon, the remote
+// counterpart of autopipe.SimulateProfile.
+func (c *Client) Simulate(ctx context.Context, p autopipe.StageProfile) (*SimulateResult, error) {
+	job, err := c.Submit(ctx, SubmitRequest{Kind: KindSimulate, Profile: &p})
+	if err != nil {
+		return nil, err
+	}
+	var res SimulateResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		return nil, fmt.Errorf("%w: client: undecodable simulate result: %v", autopipe.ErrInternal, err)
+	}
+	return &res, nil
+}
+
+// Slice solves Algorithm 2 on the daemon, the remote counterpart of
+// autopipe.SliceProfile.
+func (c *Client) Slice(ctx context.Context, p autopipe.StageProfile) (autopipe.SlicePlan, error) {
+	job, err := c.Submit(ctx, SubmitRequest{Kind: KindSlice, Profile: &p})
+	if err != nil {
+		return autopipe.SlicePlan{}, err
+	}
+	var res SliceResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		return autopipe.SlicePlan{}, fmt.Errorf("%w: client: undecodable slice result: %v", autopipe.ErrInternal, err)
+	}
+	return res.Plan, nil
+}
+
+// Submit posts a job and blocks until it reaches a terminal state (the
+// daemon holds the request open). A failed job is returned as its typed
+// error alongside the job document.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*Job, error) {
+	job, err := c.postJob(ctx, req, true)
+	if err != nil {
+		return job, err
+	}
+	if err := job.Err(); err != nil {
+		return job, err
+	}
+	if !job.Terminal() {
+		return job, fmt.Errorf("%w: client: daemon returned non-terminal job %s from a waited submit", autopipe.ErrInternal, job.ID)
+	}
+	return job, nil
+}
+
+// SubmitAsync posts a job and returns immediately with its pending/running
+// document; poll it with Job or block with Wait.
+func (c *Client) SubmitAsync(ctx context.Context, req SubmitRequest) (*Job, error) {
+	return c.postJob(ctx, req, false)
+}
+
+// Job fetches the current state of a job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	return c.getJob(ctx, id, false)
+}
+
+// Wait blocks until the job reaches a terminal state and returns it. Like
+// Submit, a failed job surfaces as its typed error.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	job, err := c.getJob(ctx, id, true)
+	if err != nil {
+		return job, err
+	}
+	return job, job.Err()
+}
+
+// Jobs lists every job the daemon knows about, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]*Job, error) {
+	var jobs []*Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Metrics scrapes the daemon's /metrics endpoint and returns the Prometheus
+// text exposition verbatim.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, _, err := c.roundTrip(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+func (c *Client) postJob(ctx context.Context, req SubmitRequest, wait bool) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	path := "/v1/jobs"
+	if wait {
+		path += "?wait=1"
+	}
+	var job Job
+	if err := c.do(ctx, http.MethodPost, path, &req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+func (c *Client) getJob(ctx context.Context, id string, wait bool) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: client: empty job id", autopipe.ErrBadConfig)
+	}
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if wait {
+		path += "?wait=1"
+	}
+	var job Job
+	if err := c.do(ctx, http.MethodGet, path, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// do performs one API call with retries and decodes the JSON response into
+// out (which may be nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("%w: client: encode request: %v", autopipe.ErrBadConfig, err)
+		}
+	}
+	respBody, _, err := c.roundTrip(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(respBody, out); err != nil {
+		return fmt.Errorf("%w: client: undecodable response from %s: %v", autopipe.ErrInternal, path, err)
+	}
+	return nil
+}
+
+// roundTrip sends the request, retrying transport errors and retryable
+// statuses with exponential backoff. Non-2xx responses decode into a typed
+// *Error; a response that fails to decode becomes an ErrInternal-wrapped
+// error carrying the status.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, status, err := c.once(ctx, method, path, body)
+		switch {
+		case err == nil:
+			return data, status, nil
+		case !retryable(err) || attempt >= c.retries:
+			return nil, status, err
+		}
+		lastErr = err
+		d := c.backoff << attempt
+		if limit := 5 * time.Second; d > limit {
+			d = limit
+		}
+		if err := c.sleep(ctx, d); err != nil {
+			return nil, 0, fmt.Errorf("client: retry canceled after %v: %w", lastErr, err)
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: client: build request: %v", autopipe.ErrBadConfig, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport errors (refused connection, reset, client timeout) are
+		// retryable by classification below.
+		return nil, 0, fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("client: read response: %w: %v", ErrUnavailable, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return data, resp.StatusCode, nil
+	}
+	return nil, resp.StatusCode, decodeError(data, resp.StatusCode)
+}
+
+// decodeError turns a non-2xx body into a typed error. The daemon always
+// sends {"error": {code, message}}; anything else (a proxy's HTML 502, a
+// truncated body) maps onto unavailable for 5xx and internal otherwise.
+func decodeError(data []byte, status int) error {
+	var doc struct {
+		Error *Error `json:"error"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Error != nil && doc.Error.Code != "" {
+		return doc.Error
+	}
+	if status >= 500 {
+		return fmt.Errorf("client: HTTP %d: %w", status, ErrUnavailable)
+	}
+	return fmt.Errorf("%w: client: HTTP %d: %s", autopipe.ErrInternal, status, truncate(data, 200))
+}
+
+// retryable reports whether the failed attempt is worth repeating: transient
+// daemon conditions only. Typed rejections (bad config, infeasible, OOM) and
+// terminal failures are final on the first response.
+func retryable(err error) bool {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code == CodeUnavailable
+	}
+	return errors.Is(err, ErrUnavailable)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

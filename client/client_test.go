@@ -1,0 +1,233 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopipe"
+)
+
+// flakyHandler fails the first n requests with the given status (and a typed
+// envelope when code is non-empty), then serves a done job document.
+func flakyHandler(t *testing.T, failures int, status int, code string) (http.Handler, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if int(n) <= failures {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			if code != "" {
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"error": &Error{Code: code, Message: "flaky: " + code},
+				})
+			}
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&Job{
+			ID: "job-00000001", Kind: KindSimulate, State: StateDone,
+			Result: json.RawMessage(`{"iterTime": 1.5, "startup": 0.25, "master": 0}`),
+		})
+	})
+	return h, &attempts
+}
+
+// testClient builds a client against h whose retry sleeps are recorded
+// instead of slept.
+func testClient(t *testing.T, h http.Handler, opts ...Option) (*Client, *[]time.Duration, *httptest.Server) {
+	t.Helper()
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	c, err := New(hs.URL, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var sleeps []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		return nil
+	}
+	return c, &sleeps, hs
+}
+
+func simReq() SubmitRequest {
+	return SubmitRequest{Kind: KindSimulate, Profile: &autopipe.StageProfile{Fwd: []float64{1, 1}, Bwd: []float64{2, 2}, Comm: 0.1, Micro: 8}}
+}
+
+// TestRetryOn503 proves the client retries unavailable responses with
+// exponential backoff and succeeds once the daemon recovers.
+func TestRetryOn503(t *testing.T) {
+	h, attempts := flakyHandler(t, 2, http.StatusServiceUnavailable, CodeUnavailable)
+	c, sleeps, _ := testClient(t, h, WithRetries(3), WithBackoff(10*time.Millisecond))
+
+	res, err := c.Simulate(context.Background(), *simReq().Profile)
+	if err != nil {
+		t.Fatalf("Simulate after flaky 503s: %v", err)
+	}
+	if res.IterTime != 1.5 || res.Master != 0 {
+		t.Errorf("result = %+v, want the recovered document", res)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3 (2 failures + 1 success)", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("slept %v, want %v", *sleeps, want)
+	}
+	for i := range want {
+		if (*sleeps)[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v (exponential from the base)", i, (*sleeps)[i], want[i])
+		}
+	}
+}
+
+// TestRetryExhaustion proves a daemon that never recovers surfaces the typed
+// unavailable error after the configured attempts.
+func TestRetryExhaustion(t *testing.T) {
+	h, attempts := flakyHandler(t, 1000, http.StatusServiceUnavailable, CodeUnavailable)
+	c, sleeps, _ := testClient(t, h, WithRetries(2), WithBackoff(time.Millisecond))
+
+	_, err := c.Simulate(context.Background(), *simReq().Profile)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if len(*sleeps) != 2 {
+		t.Errorf("slept %d times, want 2", len(*sleeps))
+	}
+}
+
+// TestNoRetryOnTypedRejection proves 4xx/422 typed rejections are final:
+// retrying a bad config cannot make it good.
+func TestNoRetryOnTypedRejection(t *testing.T) {
+	cases := []struct {
+		code     string
+		status   int
+		sentinel error
+	}{
+		{CodeBadConfig, http.StatusBadRequest, autopipe.ErrBadConfig},
+		{CodeInfeasible, http.StatusUnprocessableEntity, autopipe.ErrInfeasible},
+		{CodeOOM, http.StatusUnprocessableEntity, autopipe.ErrOOM},
+		{CodeInternal, http.StatusInternalServerError, autopipe.ErrInternal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			h, attempts := flakyHandler(t, 1000, tc.status, tc.code)
+			c, sleeps, _ := testClient(t, h, WithRetries(5))
+			_, err := c.Simulate(context.Background(), *simReq().Profile)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want %v", err, tc.sentinel)
+			}
+			if got := attempts.Load(); got != 1 {
+				t.Errorf("made %d attempts, want 1 (typed rejections are final)", got)
+			}
+			if len(*sleeps) != 0 {
+				t.Errorf("slept %v on a final rejection", *sleeps)
+			}
+		})
+	}
+}
+
+// TestRetryOnUntypedProxy5xx proves a bare 5xx (an HTML-spewing proxy, a
+// truncated body) is treated as unavailable and retried.
+func TestRetryOnUntypedProxy5xx(t *testing.T) {
+	var attempts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprintln(w, "<html>upstream sad</html>")
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&Job{ID: "job-00000001", Kind: KindSlice, State: StateDone, Result: json.RawMessage(`{"plan":{}}`)})
+	})
+	c, _, _ := testClient(t, h, WithRetries(2), WithBackoff(time.Millisecond))
+	if _, err := c.Slice(context.Background(), *simReq().Profile); err != nil {
+		t.Fatalf("Slice through flaky proxy: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("made %d attempts, want 2", got)
+	}
+}
+
+// TestRetrySleepHonorsContext proves a canceled context cuts the retry loop.
+func TestRetrySleepHonorsContext(t *testing.T) {
+	h, _ := flakyHandler(t, 1000, http.StatusServiceUnavailable, CodeUnavailable)
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	c, err := New(hs.URL, WithRetries(10), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	_, err = c.Simulate(ctx, *simReq().Profile)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTransportErrorRetries proves refused connections are retryable: the
+// client survives a daemon that comes up after its first attempt.
+func TestTransportErrorRetries(t *testing.T) {
+	// Point at a closed port: every attempt is a transport error.
+	hs := httptest.NewServer(http.NotFoundHandler())
+	hs.Close()
+	c, err := New(hs.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var sleeps atomic.Int64
+	c.sleep = func(context.Context, time.Duration) error {
+		sleeps.Add(1)
+		return nil
+	}
+	_, err = c.Simulate(context.Background(), *simReq().Profile)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := sleeps.Load(); got != 2 {
+		t.Errorf("retried %d times, want 2", got)
+	}
+}
+
+// TestNewValidation pins the constructor's URL checks.
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url at all\x7f", "127.0.0.1:8080", "/relative"} {
+		if _, err := New(bad); !errors.Is(err, autopipe.ErrBadConfig) {
+			t.Errorf("New(%q) = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	c, err := New("http://127.0.0.1:7180/")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.base != "http://127.0.0.1:7180" {
+		t.Errorf("base = %q, want trailing slash trimmed", c.base)
+	}
+}
+
+// TestClientValidatesBeforeSending proves a structurally bad request never
+// reaches the wire.
+func TestClientValidatesBeforeSending(t *testing.T) {
+	var attempts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { attempts.Add(1) })
+	c, _, _ := testClient(t, h)
+	if _, err := c.Submit(context.Background(), SubmitRequest{Kind: "transmogrify"}); !errors.Is(err, autopipe.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	if attempts.Load() != 0 {
+		t.Errorf("invalid request reached the daemon")
+	}
+}

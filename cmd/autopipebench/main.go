@@ -9,7 +9,8 @@
 // Usage:
 //
 //	autopipebench [-label dev] [-o BENCH_dev.json] [-benchtime 1x] \
-//	              [-match exec] [-parallelism N] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	              [-match exec] [-parallelism N] [-timeout 30s] \
+//	              [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	autopipebench compare OLD.json NEW.json [-report-only] \
 //	              [-ns-pct 0.30] [-allocs-pct 0.10] [-bytes-pct 0.25] [-custom-pct 0.25]
 //
@@ -53,7 +54,7 @@ func runSuite(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
 	benchtime := fs.String("benchtime", "", "per-benchmark time or count, e.g. 2s or 1x (empty = testing's 1s default)")
 	match := fs.String("match", "", "only run suite entries whose name contains this substring")
-	parallelism := fs.Int("parallelism", 0, "planner search workers for the plan-search entry (0 = one per CPU)")
+	pf := cliutil.RegisterPlanner(fs)
 	prof := cliutil.RegisterProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,7 +84,9 @@ func runSuite(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "autopipebench:", err)
 		return 1
 	}
-	opts := bench.Options{Parallelism: *parallelism, Progress: stdout}
+	ctx, cancel := pf.Context()
+	defer cancel()
+	opts := bench.Options{Parallelism: pf.Parallelism, Ctx: ctx, Progress: stdout}
 	if *match != "" {
 		opts.Match = func(name string) bool { return strings.Contains(name, *match) }
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pr, err := autopipe.PlanDepth(blocks, depth, 2*depth)
+	pr, err := autopipe.NewPlanner().PlanDepth(context.Background(), blocks, depth, 2*depth)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,8 +59,7 @@ func main() {
 	fmt.Printf("  even partition imbalance (stddev): %.2f ms\n", even.Imbalance(blocks)*1e3)
 	fmt.Printf("  planner imbalance (stddev):        %.2f ms\n", pr.Best.Partition.Imbalance(blocks)*1e3)
 	fmt.Printf("  planner layer counts: %v\n", pr.Best.Partition.LayerCounts(blocks))
-	f, b := pr.Best.Partition.StageTimes(blocks)
-	sp, err := autopipe.Slice(f, b, blocks.Comm, 2*depth)
+	sp, err := autopipe.SliceProfile(autopipe.Profile(pr.Best.Partition, blocks, 2*depth))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,13 +42,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pr, err := autopipe.PlanDepth(blocks, depth, m)
+	pr, err := autopipe.NewPlanner().PlanDepth(context.Background(), blocks, depth, m)
 	if err != nil {
 		log.Fatal(err)
 	}
 	part := pr.Best.Partition
-	f, b := part.StageTimes(blocks)
-	sp, err := autopipe.Slice(f, b, blocks.Comm, m)
+	sp, err := autopipe.SliceProfile(autopipe.Profile(part, blocks, m))
 	if err != nil {
 		log.Fatal(err)
 	}

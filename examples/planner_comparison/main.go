@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 			return piper.Plan(model, run, cluster, piper.Options{})
 		}},
 		{"AutoPipe", func() (*plan.Spec, *autopipe.Blocks, error) {
-			return autopipe.Plan(model, run, cluster)
+			return autopipe.NewPlanner().Plan(context.Background(), model, run, cluster)
 		}},
 	}
 

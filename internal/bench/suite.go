@@ -37,6 +37,9 @@ type Options struct {
 	// Parallelism is the planner worker-pool size for the plan-search entry
 	// (0 = one worker per CPU), the same knob as the CLIs' -parallelism.
 	Parallelism int
+	// Ctx bounds the plan-search entry's planning calls, the same knob as
+	// the CLIs' -timeout; nil means context.Background().
+	Ctx context.Context
 	// Match filters entries by name; nil runs the whole suite.
 	Match func(name string) bool
 	// Progress, when non-nil, receives one line per completed entry.
@@ -46,7 +49,10 @@ type Options struct {
 // DefaultSuite returns the curated hot-path suite: plan-search throughput,
 // the sanitized exec event loop, schedule dependency-graph construction, the
 // Slicer's Algorithm 2, and the obs registry's own overhead.
-func DefaultSuite(parallelism int) []Benchmark {
+func DefaultSuite(ctx context.Context, parallelism int) []Benchmark {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return []Benchmark{
 		{
 			// The paper's Fig. 12 metric: end-to-end plan search (Algorithm 1
@@ -62,7 +68,7 @@ func DefaultSuite(parallelism int) []Benchmark {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := p.Plan(context.Background(), config.GPT2_345M(), run, cluster); err != nil {
+					if _, _, err := p.Plan(ctx, config.GPT2_345M(), run, cluster); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -246,7 +252,7 @@ func sumCounters(snap obs.Snapshot, prefix, suffix string) float64 {
 // invocation so the final snapshot covers exactly the measured run.
 func RunSuite(label string, opts Options) (*Baseline, error) {
 	base := &Baseline{Label: label, Suite: SuiteID, GoVersion: runtime.Version()}
-	for _, bm := range DefaultSuite(opts.Parallelism) {
+	for _, bm := range DefaultSuite(opts.Ctx, opts.Parallelism) {
 		if opts.Match != nil && !opts.Match(bm.Name) {
 			continue
 		}

@@ -1,7 +1,9 @@
-// Package cliutil provides the planner flag handling shared by the
-// repository's commands: autopipe, pipesim, and experiments all accept the
-// same -parallelism and -timeout flags, resolved here into a planning
-// context and engine options.
+// Package cliutil provides the flag handling shared by the repository's
+// commands: autopipe, pipesim, experiments, autopipebench, and autopiped all
+// register their common flags here, so -parallelism, -timeout, the profiling
+// flags, and the daemon's -addr/-store mean the same thing everywhere.
+// Parsed values resolve into a planning context, engine options, or daemon
+// configuration.
 package cliutil
 
 import (
@@ -67,6 +69,23 @@ func RegisterExec(fs *flag.FlagSet) *ExecFlags {
 	ef := &ExecFlags{}
 	fs.BoolVar(&ef.Sanitize, "sanitize", false, "validate every executed op against the schedule dependency graph, link capacity, and memory ledger (fails with an internal-error diagnosis)")
 	return ef
+}
+
+// ServiceFlags holds the parsed values of the shared daemon flags, used by
+// commands that run or address an autopiped instance.
+type ServiceFlags struct {
+	// Addr is the listen (or target) address for the HTTP API.
+	Addr string
+	// Store is the job-store directory; empty runs memory-only.
+	Store string
+}
+
+// RegisterService installs the shared daemon flags on fs (before fs.Parse).
+func RegisterService(fs *flag.FlagSet) *ServiceFlags {
+	sf := &ServiceFlags{}
+	fs.StringVar(&sf.Addr, "addr", "127.0.0.1:7180", "HTTP listen address for the planning API")
+	fs.StringVar(&sf.Store, "store", "", "job-store directory for restart-resumable jobs (empty = memory only)")
+	return sf
 }
 
 // FaultFlags holds the parsed values of the shared fault-injection flags.

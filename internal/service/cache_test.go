@@ -1,0 +1,131 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPlanCacheFIFO proves the cache evicts oldest-first at capacity.
+func TestPlanCacheFIFO(t *testing.T) {
+	c := newPlanCache(2)
+	c.Put("a", json.RawMessage(`1`))
+	c.Put("b", json.RawMessage(`2`))
+	c.Put("c", json.RawMessage(`3`))
+	if _, ok := c.Get("a"); ok {
+		t.Errorf("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %q evicted early", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	// Overwriting an existing key must not grow the order bookkeeping.
+	c.Put("c", json.RawMessage(`4`))
+	if v, _ := c.Get("c"); string(v) != "4" {
+		t.Errorf("overwrite did not take: %s", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len after overwrite = %d, want 2", c.Len())
+	}
+}
+
+// TestSingleflightShares proves concurrent same-key calls run fn once and all
+// see its result, while distinct keys run independently.
+func TestSingleflightShares(t *testing.T) {
+	g := newSingleflight()
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 5
+	var wg sync.WaitGroup
+	results := make([]json.RawMessage, n)
+	sharedFlags := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (json.RawMessage, error) {
+				calls.Add(1)
+				entered <- struct{}{}
+				<-release
+				return json.RawMessage(`"v"`), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], sharedFlags[i] = v, shared
+		}(i)
+	}
+	<-entered
+	// The leader is inside fn; give the other callers time to reach Do and
+	// block on the in-flight call before letting fn finish.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+	shared := 0
+	for i := range results {
+		if string(results[i]) != `"v"` {
+			t.Errorf("caller %d got %s", i, results[i])
+		}
+		if sharedFlags[i] {
+			shared++
+		}
+	}
+	if shared != n-1 {
+		t.Errorf("%d callers shared, want %d", shared, n-1)
+	}
+
+	// After completion the key leaves the table: a new call runs fn again.
+	_, _, sharedAgain := g.Do("k", func() (json.RawMessage, error) {
+		calls.Add(1)
+		return json.RawMessage(`"w"`), nil
+	})
+	if sharedAgain || calls.Load() != 2 {
+		t.Errorf("finished key stayed in the table (shared=%v, calls=%d)", sharedAgain, calls.Load())
+	}
+}
+
+// TestSingleflightSharesErrors proves a failed search fails every coalesced
+// caller with the same error.
+func TestSingleflightSharesErrors(t *testing.T) {
+	g := newSingleflight()
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, _ := g.Do("k", func() (json.RawMessage, error) {
+				entered <- struct{}{}
+				<-release
+				return nil, fmt.Errorf("search: %w", boom)
+			})
+			errs[i] = err
+		}(i)
+	}
+	<-entered
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d got %v, want the shared failure", i, err)
+		}
+	}
+}

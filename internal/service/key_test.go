@@ -1,0 +1,87 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"autopipe"
+	"autopipe/client"
+	"autopipe/internal/errdefs"
+)
+
+func planReq(mutate func(*client.PlanPayload)) client.SubmitRequest {
+	p := &client.PlanPayload{
+		Model:   autopipe.GPT2_345M(),
+		Run:     autopipe.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true},
+		Cluster: autopipe.DefaultCluster(),
+	}
+	if mutate != nil {
+		mutate(p)
+	}
+	return client.SubmitRequest{Kind: client.KindPlan, Plan: p}
+}
+
+// TestKeyDeterministic proves equal requests hash to equal, stable keys.
+func TestKeyDeterministic(t *testing.T) {
+	k1, err := Key(planReq(nil))
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	k2, err := Key(planReq(nil))
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if k1 != k2 {
+		t.Errorf("identical requests keyed differently: %q vs %q", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "sha256:") || len(k1) != len("sha256:")+64 {
+		t.Errorf("key %q is not a sha256 content address", k1)
+	}
+}
+
+// TestKeySensitivity proves every result-determining field moves the key —
+// and that the key document versioning leaves room to invalidate.
+func TestKeySensitivity(t *testing.T) {
+	base, err := Key(planReq(nil))
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	variants := map[string]client.SubmitRequest{
+		"model":   planReq(func(p *client.PlanPayload) { p.Model = autopipe.BERTLarge() }),
+		"run":     planReq(func(p *client.PlanPayload) { p.Run.GlobalBatch = 256 }),
+		"cluster": planReq(func(p *client.PlanPayload) { p.Cluster.NumGPUs = 8 }),
+		"budget":  planReq(func(p *client.PlanPayload) { p.Budget = 100 }),
+	}
+	for name, req := range variants {
+		k, err := Key(req)
+		if err != nil {
+			t.Fatalf("Key(%s): %v", name, err)
+		}
+		if k == base {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+
+	// Different kinds never collide, even over the same payload bytes.
+	prof := &autopipe.StageProfile{Fwd: []float64{1, 1}, Bwd: []float64{2, 2}, Comm: 0.1, Micro: 4}
+	kSim, err := Key(client.SubmitRequest{Kind: client.KindSimulate, Profile: prof})
+	if err != nil {
+		t.Fatalf("Key(simulate): %v", err)
+	}
+	kSlice, err := Key(client.SubmitRequest{Kind: client.KindSlice, Profile: prof})
+	if err != nil {
+		t.Fatalf("Key(slice): %v", err)
+	}
+	if kSim == kSlice {
+		t.Errorf("simulate and slice keyed identically over the same profile")
+	}
+}
+
+// TestKeyUnknownKind proves unkeyable requests fail with the typed sentinel.
+func TestKeyUnknownKind(t *testing.T) {
+	_, err := Key(client.SubmitRequest{Kind: "transmogrify"})
+	if !errors.Is(err, errdefs.ErrBadConfig) {
+		t.Errorf("Key(unknown kind) = %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,632 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopipe"
+	"autopipe/client"
+	"autopipe/internal/errdefs"
+)
+
+// testPlanBody returns a valid submit request body for a plan job; vary seed
+// to get distinct cache keys.
+func testPlanBody(seed int) client.SubmitRequest {
+	cluster := autopipe.DefaultCluster()
+	cluster.NumGPUs = 4
+	return client.SubmitRequest{
+		Kind: client.KindPlan,
+		Plan: &client.PlanPayload{
+			Model:   autopipe.GPT2_345M(),
+			Run:     autopipe.Run{MicroBatch: 4, GlobalBatch: 128 + 128*seed, Checkpoint: true},
+			Cluster: cluster,
+		},
+	}
+}
+
+// newTestServer builds a started server with the given config and an engine
+// stub, mounted on an httptest server. The stub result is a fixed document so
+// tests exercise the service machinery, not the search.
+func newTestServer(t *testing.T, cfg Config, engine func(ctx context.Context, req client.SubmitRequest) (json.RawMessage, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if engine != nil {
+		srv.engine = engine
+	}
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+func stubResult() json.RawMessage { return json.RawMessage(`{"spec":null}`) }
+
+func submit(t *testing.T, base string, req client.SubmitRequest, wait bool) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return post(t, base, body, wait)
+}
+
+func post(t *testing.T, base string, body []byte, wait bool) (*http.Response, []byte) {
+	t.Helper()
+	resp, data, err := tryPost(base, body, wait)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	return resp, data
+}
+
+// tryPost is the goroutine-safe variant: it reports transport failures as an
+// error instead of calling into testing.T.
+func tryPost(base string, body []byte, wait bool) (*http.Response, []byte, error) {
+	url := base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+func trySubmit(req client.SubmitRequest, base string, wait bool) (*http.Response, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tryPost(base, body, wait)
+}
+
+// decodeWireError pulls the typed error out of an error envelope.
+func decodeWireError(t *testing.T, data []byte) *client.Error {
+	t.Helper()
+	var doc struct {
+		Error *client.Error `json:"error"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Error == nil {
+		t.Fatalf("response is not an error envelope: %s", data)
+	}
+	return doc.Error
+}
+
+// TestWireErrorContract proves the sentinel → status → code → sentinel
+// round-trip for every mapped failure class: the daemon assigns the contract
+// status, and the decoded wire error is errors.Is-compatible with the
+// original sentinel.
+func TestWireErrorContract(t *testing.T) {
+	cases := []struct {
+		name       string
+		engineErr  error // when set, the engine fails with it
+		body       []byte
+		wantStatus int
+		wantCode   string
+		wantIs     error
+	}{
+		{
+			name:       "malformed json",
+			body:       []byte(`{"kind": "plan",`),
+			wantStatus: http.StatusBadRequest,
+			wantCode:   client.CodeBadConfig,
+			wantIs:     autopipe.ErrBadConfig,
+		},
+		{
+			name:       "unknown field",
+			body:       []byte(`{"kind": "plan", "bogus": 1}`),
+			wantStatus: http.StatusBadRequest,
+			wantCode:   client.CodeBadConfig,
+			wantIs:     autopipe.ErrBadConfig,
+		},
+		{
+			name:       "unknown kind",
+			body:       []byte(`{"kind": "transmogrify"}`),
+			wantStatus: http.StatusBadRequest,
+			wantCode:   client.CodeBadConfig,
+			wantIs:     autopipe.ErrBadConfig,
+		},
+		{
+			name:       "plan without payload",
+			body:       []byte(`{"kind": "plan"}`),
+			wantStatus: http.StatusBadRequest,
+			wantCode:   client.CodeBadConfig,
+			wantIs:     autopipe.ErrBadConfig,
+		},
+		{
+			name:       "engine bad config",
+			engineErr:  fmt.Errorf("%w: micro-batch must divide global batch", errdefs.ErrBadConfig),
+			wantStatus: http.StatusBadRequest,
+			wantCode:   client.CodeBadConfig,
+			wantIs:     autopipe.ErrBadConfig,
+		},
+		{
+			name:       "engine infeasible",
+			engineErr:  fmt.Errorf("%w: no pipeline depth fits device memory", errdefs.ErrInfeasible),
+			wantStatus: http.StatusUnprocessableEntity,
+			wantCode:   client.CodeInfeasible,
+			wantIs:     autopipe.ErrInfeasible,
+		},
+		{
+			name:       "engine oom",
+			engineErr:  fmt.Errorf("%w: stage 3 exceeds device memory", errdefs.ErrOOM),
+			wantStatus: http.StatusUnprocessableEntity,
+			wantCode:   client.CodeOOM,
+			wantIs:     autopipe.ErrOOM,
+		},
+		{
+			name:       "engine internal",
+			engineErr:  errors.New("the planner tripped over its own feet"),
+			wantStatus: http.StatusInternalServerError,
+			wantCode:   client.CodeInternal,
+			wantIs:     autopipe.ErrInternal,
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			engineErr := tc.engineErr
+			_, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+				if engineErr != nil {
+					return nil, engineErr
+				}
+				return stubResult(), nil
+			})
+			body := tc.body
+			if body == nil {
+				var err error
+				body, err = json.Marshal(testPlanBody(i))
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+			}
+			resp, data := post(t, hs.URL, body, true)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, data)
+			}
+			we := decodeWireError(t, data)
+			if we.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", we.Code, tc.wantCode)
+			}
+			if !errors.Is(we, tc.wantIs) {
+				t.Errorf("decoded error %v is not errors.Is(%v)", we, tc.wantIs)
+			}
+		})
+	}
+}
+
+// TestJobNotFound proves unknown job IDs map to 404 not_found.
+func TestJobNotFound(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	resp, err := http.Get(hs.URL + "/v1/jobs/job-99999999")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	we := decodeWireError(t, data)
+	if we.Code != client.CodeNotFound {
+		t.Errorf("code = %q, want %q", we.Code, client.CodeNotFound)
+	}
+	if !errors.Is(we, client.ErrNotFound) {
+		t.Errorf("decoded error is not ErrNotFound")
+	}
+}
+
+// TestCacheHitOnResubmit is the acceptance check: two back-to-back identical
+// plan requests cost exactly one engine search, and the daemon's counters
+// say so.
+func TestCacheHitOnResubmit(t *testing.T) {
+	var searches atomic.Int64
+	srv, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		searches.Add(1)
+		return stubResult(), nil
+	})
+
+	resp, data := submit(t, hs.URL, testPlanBody(0), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, data)
+	}
+	var first client.Job
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatalf("decode first job: %v", err)
+	}
+	if first.CacheHit {
+		t.Fatalf("first submit was a cache hit")
+	}
+
+	resp, data = submit(t, hs.URL, testPlanBody(0), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second submit: status %d: %s", resp.StatusCode, data)
+	}
+	var second client.Job
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatalf("decode second job: %v", err)
+	}
+	if !second.CacheHit {
+		t.Fatalf("identical resubmit was not a cache hit: %+v", second)
+	}
+	if second.Key != first.Key {
+		t.Errorf("identical requests got different keys: %q vs %q", first.Key, second.Key)
+	}
+	if n := searches.Load(); n != 1 {
+		t.Errorf("engine ran %d times, want 1", n)
+	}
+	if hits := srv.Registry().Counter("service.cache.hits").Value(); hits != 1 {
+		t.Errorf("service.cache.hits = %v, want 1", hits)
+	}
+	if n := srv.Registry().Counter("service.engine.searches").Value(); n != 1 {
+		t.Errorf("service.engine.searches = %v, want 1", n)
+	}
+
+	// A different configuration must miss.
+	resp, data = submit(t, hs.URL, testPlanBody(1), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("third submit: status %d: %s", resp.StatusCode, data)
+	}
+	if n := searches.Load(); n != 2 {
+		t.Errorf("engine ran %d times after a distinct request, want 2", n)
+	}
+}
+
+// TestSingleflightDedup proves N concurrent identical requests coalesce into
+// one engine search: the first caller runs it, in-flight duplicates share,
+// later ones hit the cache.
+func TestSingleflightDedup(t *testing.T) {
+	const n = 8
+	var searches atomic.Int64
+	entered := make(chan struct{}, n)
+	release := make(chan struct{})
+	_, hs := newTestServer(t, Config{Workers: 4}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		searches.Add(1)
+		entered <- struct{}{}
+		<-release
+		return stubResult(), nil
+	})
+
+	type outcome struct {
+		job  client.Job
+		code int
+		err  error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, data, err := trySubmit(testPlanBody(0), hs.URL, true)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			var j client.Job
+			_ = json.Unmarshal(data, &j)
+			results <- outcome{job: j, code: resp.StatusCode}
+		}()
+	}
+
+	// Exactly one request reaches the engine; everyone else coalesces.
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no request reached the engine")
+	}
+	select {
+	case <-entered:
+		t.Fatal("a second identical search reached the engine")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+
+	var shared, hits int
+	for i := 0; i < n; i++ {
+		out := <-results
+		if out.err != nil {
+			t.Fatalf("request %d: %v", i, out.err)
+		}
+		if out.code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, out.code)
+		}
+		if out.job.Shared {
+			shared++
+		}
+		if out.job.CacheHit {
+			hits++
+		}
+	}
+	if got := searches.Load(); got != 1 {
+		t.Errorf("engine ran %d times for %d identical concurrent requests, want 1", got, n)
+	}
+	if shared+hits == 0 {
+		t.Errorf("no request was deduplicated (shared %d, cache hits %d)", shared, hits)
+	}
+}
+
+// TestQueueFull proves an overloaded daemon rejects with 503 unavailable —
+// the one code the client retries.
+func TestQueueFull(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		entered <- struct{}{}
+		<-release
+		return stubResult(), nil
+	})
+	defer close(release)
+
+	// First job occupies the only worker.
+	go func() { _, _, _ = trySubmit(testPlanBody(0), hs.URL, true) }()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never reached the engine")
+	}
+	// Second job fills the 1-deep queue.
+	resp, data := submit(t, hs.URL, testPlanBody(1), false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d: %s", resp.StatusCode, data)
+	}
+	// Third is rejected.
+	resp, data = submit(t, hs.URL, testPlanBody(2), false)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third submit: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	we := decodeWireError(t, data)
+	if we.Code != client.CodeUnavailable {
+		t.Errorf("code = %q, want %q", we.Code, client.CodeUnavailable)
+	}
+	if !errors.Is(we, client.ErrUnavailable) {
+		t.Errorf("decoded error is not ErrUnavailable")
+	}
+}
+
+// TestStoreResume proves the daemon is restart-resumable: a job interrupted
+// before running is re-enqueued and finished by the next daemon, and finished
+// results replayed from the store re-seed the cache.
+func TestStoreResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// Daemon 1: accept a job but never start workers, so it stays pending on
+	// disk — the restart-during-queue scenario.
+	srv1, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	resp, data := submit(t, hs1.URL, testPlanBody(0), false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var pending client.Job
+	if err := json.Unmarshal(data, &pending); err != nil {
+		t.Fatalf("decode pending job: %v", err)
+	}
+	hs1.Close()
+	srv1.Close()
+
+	// Daemon 2 replays the store: the pending job must be re-enqueued, run,
+	// and become fetchable as done.
+	var searches atomic.Int64
+	srv2, hs2 := newTestServer(t, Config{StoreDir: dir}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		searches.Add(1)
+		return stubResult(), nil
+	})
+	if v := srv2.Registry().Counter("service.jobs.resumed").Value(); v != 1 {
+		t.Fatalf("service.jobs.resumed = %v, want 1", v)
+	}
+	resp2, err := http.Get(hs2.URL + "/v1/jobs/" + pending.ID + "?wait=1")
+	if err != nil {
+		t.Fatalf("GET resumed job: %v", err)
+	}
+	data2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resumed job: status %d: %s", resp2.StatusCode, data2)
+	}
+	var done client.Job
+	if err := json.Unmarshal(data2, &done); err != nil {
+		t.Fatalf("decode resumed job: %v", err)
+	}
+	if done.State != client.StateDone {
+		t.Fatalf("resumed job state = %q, want done", done.State)
+	}
+	if searches.Load() != 1 {
+		t.Fatalf("resumed job ran the engine %d times, want 1", searches.Load())
+	}
+	hs2URL := hs2.URL
+
+	// An identical submit on daemon 2 now hits the cache (no new search).
+	resp3, data3 := submit(t, hs2URL, testPlanBody(0), true)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-resume submit: status %d: %s", resp3.StatusCode, data3)
+	}
+	var hit client.Job
+	if err := json.Unmarshal(data3, &hit); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Errorf("post-resume identical submit was not a cache hit")
+	}
+	if searches.Load() != 1 {
+		t.Errorf("post-resume submit ran the engine (total %d searches, want 1)", searches.Load())
+	}
+
+	// Daemon 3 replays a store whose jobs are all terminal: nothing resumes,
+	// but the finished result re-seeds the cache from disk alone.
+	var searches3 atomic.Int64
+	srv3, hs3 := newTestServer(t, Config{StoreDir: dir}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		searches3.Add(1)
+		return stubResult(), nil
+	})
+	if v := srv3.Registry().Counter("service.jobs.resumed").Value(); v != 0 {
+		t.Fatalf("daemon 3 resumed %v jobs, want 0", v)
+	}
+	resp4, data4 := submit(t, hs3.URL, testPlanBody(0), true)
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("cold-cache submit: status %d: %s", resp4.StatusCode, data4)
+	}
+	var hit3 client.Job
+	if err := json.Unmarshal(data4, &hit3); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !hit3.CacheHit {
+		t.Errorf("replayed store did not re-seed the cache")
+	}
+	if searches3.Load() != 0 {
+		t.Errorf("daemon 3 ran %d searches, want 0", searches3.Load())
+	}
+}
+
+// TestListJobs proves GET /v1/jobs returns submissions oldest first.
+func TestListJobs(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		return stubResult(), nil
+	})
+	for i := 0; i < 3; i++ {
+		resp, data := submit(t, hs.URL, testPlanBody(i), true)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET /v1/jobs: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var jobs []client.Job
+	if err := json.Unmarshal(data, &jobs); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i-1].ID >= jobs[i].ID {
+			t.Errorf("jobs out of order: %q before %q", jobs[i-1].ID, jobs[i].ID)
+		}
+	}
+}
+
+// TestMetricsAndPprofMounted proves the observability endpoints are wired:
+// /metrics serves the Prometheus exposition including service counters, and
+// /debug/pprof answers.
+func TestMetricsAndPprofMounted(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		return stubResult(), nil
+	})
+	if resp, data := submit(t, hs.URL, testPlanBody(0), true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"service_jobs_submitted_total", "service_engine_searches_total", "service_http_requests_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	if resp, _ := http.Get(hs.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestRealEngineEndToEnd runs one plan through the actual planning engine —
+// the only test here that does — proving the daemon's wiring against the real
+// Planner and that the remote spec matches an in-process plan byte for byte.
+func TestRealEngineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine search in -short mode")
+	}
+	_, hs := newTestServer(t, Config{}, nil) // nil = real engine
+
+	c, err := client.New(hs.URL)
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	model, cluster := autopipe.GPT2_345M(), autopipe.DefaultCluster()
+	cluster.NumGPUs = 4
+	run := autopipe.Run{MicroBatch: 4, GlobalBatch: 128, Checkpoint: true}
+
+	remote, _, err := c.Plan(context.Background(), model, run, cluster)
+	if err != nil {
+		t.Fatalf("remote plan: %v", err)
+	}
+	local, _, err := autopipe.NewPlanner().Plan(context.Background(), model, run, cluster)
+	if err != nil {
+		t.Fatalf("local plan: %v", err)
+	}
+	if remote.Depth() != local.Depth() || remote.NumSliced != local.NumSliced ||
+		remote.Predicted != local.Predicted ||
+		fmt.Sprint(remote.Partition.Bounds) != fmt.Sprint(local.Partition.Bounds) {
+		t.Errorf("remote plan differs from in-process plan:\nremote %+v\nlocal  %+v", remote, local)
+	}
+
+	// The analytic simulate and slice kinds round-trip too.
+	prof := autopipe.StageProfile{Fwd: []float64{2, 1, 1, 1}, Bwd: []float64{4, 2, 2, 2}, Comm: 0.1, Micro: 8}
+	simRemote, err := c.Simulate(context.Background(), prof)
+	if err != nil {
+		t.Fatalf("remote simulate: %v", err)
+	}
+	simLocal, err := autopipe.SimulateProfile(prof)
+	if err != nil {
+		t.Fatalf("local simulate: %v", err)
+	}
+	if simRemote.IterTime != simLocal.IterTime || simRemote.Master != simLocal.Master {
+		t.Errorf("remote simulate %+v differs from local %+v", simRemote, simLocal)
+	}
+	sliceRemote, err := c.Slice(context.Background(), prof)
+	if err != nil {
+		t.Fatalf("remote slice: %v", err)
+	}
+	sliceLocal, err := autopipe.SliceProfile(prof)
+	if err != nil {
+		t.Fatalf("local slice: %v", err)
+	}
+	if sliceRemote.NumSliced != sliceLocal.NumSliced {
+		t.Errorf("remote slice NumSliced = %d, local %d", sliceRemote.NumSliced, sliceLocal.NumSliced)
+	}
+}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"autopipe"
+	"autopipe/client"
+	"autopipe/internal/errdefs"
+)
+
+// Smoke runs the end-to-end service check used by `make service-smoke` and
+// CI: it boots a real daemon on a loopback port, plans through the Go client,
+// proves the second identical request is a cache hit (one engine search
+// total), scrapes /metrics, and pokes /debug/pprof. With a store directory it
+// additionally restarts the daemon and proves the replayed store re-seeds the
+// cache. Any violated expectation returns an error wrapping errdefs.ErrInternal.
+func Smoke(ctx context.Context, storeDir string, out io.Writer) error {
+	if out == nil {
+		out = io.Discard
+	}
+	fmt.Fprintf(out, "service smoke: store=%q\n", storeOrMemory(storeDir))
+
+	run := func(label string, expectSearches int, wantReplayed bool) error {
+		srv, err := New(Config{StoreDir: storeDir})
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("service: smoke listen: %w", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(shCtx)
+			srv.Close()
+		}()
+		base := "http://" + ln.Addr().String()
+
+		c, err := client.New(base, client.WithTimeout(2*time.Minute))
+		if err != nil {
+			return err
+		}
+		model, cluster := autopipe.GPT2_345M(), autopipe.DefaultCluster()
+		runCfg := autopipe.Run{MicroBatch: 8, GlobalBatch: 512, Checkpoint: true}
+
+		spec, job1, err := c.Plan(ctx, model, runCfg, cluster)
+		if err != nil {
+			return fmt.Errorf("service: smoke %s: first plan: %w", label, err)
+		}
+		if spec == nil || spec.Depth() <= 0 {
+			return fmt.Errorf("%w: service: smoke %s: first plan returned no stages", errdefs.ErrInternal, label)
+		}
+		if wantReplayed && !job1.CacheHit {
+			return fmt.Errorf("%w: service: smoke %s: restarted daemon did not serve the replayed result from cache", errdefs.ErrInternal, label)
+		}
+
+		spec2, job2, err := c.Plan(ctx, model, runCfg, cluster)
+		if err != nil {
+			return fmt.Errorf("service: smoke %s: second plan: %w", label, err)
+		}
+		if !job2.CacheHit {
+			return fmt.Errorf("%w: service: smoke %s: identical resubmit was not a cache hit", errdefs.ErrInternal, label)
+		}
+		if spec2.Depth() != spec.Depth() || spec2.Predicted != spec.Predicted {
+			return fmt.Errorf("%w: service: smoke %s: cached plan differs from computed plan", errdefs.ErrInternal, label)
+		}
+
+		// A bad config must come back as the same typed sentinel the
+		// in-process API returns.
+		_, _, err = c.Plan(ctx, model, autopipe.Run{MicroBatch: 0, GlobalBatch: 512}, cluster)
+		if !errors.Is(err, autopipe.ErrBadConfig) {
+			return fmt.Errorf("%w: service: smoke %s: invalid run returned %v, want ErrBadConfig", errdefs.ErrInternal, label, err)
+		}
+
+		metrics, err := c.Metrics(ctx)
+		if err != nil {
+			return fmt.Errorf("service: smoke %s: scrape metrics: %w", label, err)
+		}
+		searches := int(promCounter(metrics, "service_engine_searches_total"))
+		if searches != expectSearches {
+			return fmt.Errorf("%w: service: smoke %s: %d engine searches, want %d", errdefs.ErrInternal, label, searches, expectSearches)
+		}
+		if !strings.Contains(metrics, "service_cache_hits_total") {
+			return fmt.Errorf("%w: service: smoke %s: /metrics is missing service counters", errdefs.ErrInternal, label)
+		}
+
+		resp, err := http.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			return fmt.Errorf("service: smoke %s: pprof: %w", label, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%w: service: smoke %s: /debug/pprof/cmdline returned %d", errdefs.ErrInternal, label, resp.StatusCode)
+		}
+
+		fmt.Fprintf(out, "  %s: plan depth %d, predicted %.3fs, cache hit on resubmit, %d engine search(es)\n",
+			label, spec.Depth(), spec.Predicted, searches)
+		return nil
+	}
+
+	if err := run("cold", 1, false); err != nil {
+		return err
+	}
+	if storeDir != "" {
+		// Second boot replays the store: the finished job re-seeds the cache,
+		// so this entire run must cost zero engine searches.
+		if err := run("restart", 0, true); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "service smoke: ok")
+	return nil
+}
+
+func storeOrMemory(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

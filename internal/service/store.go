@@ -1,0 +1,95 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"autopipe/client"
+	"autopipe/internal/errdefs"
+)
+
+// storedJob is the on-disk form of a job: the wire document plus the
+// original request, so a daemon restarted mid-queue can re-run work that
+// never finished.
+type storedJob struct {
+	Job     *client.Job          `json:"job"`
+	Request client.SubmitRequest `json:"request"`
+}
+
+// diskStore persists jobs as one JSON file per job under a directory,
+// written atomically (temp file + rename) so a crash mid-write leaves either
+// the old document or the new one, never a torn file. A nil *diskStore is a
+// valid no-op store — the daemon runs memory-only without -store.
+type diskStore struct {
+	dir string
+}
+
+// openStore creates (if needed) and opens the store directory.
+func openStore(dir string) (*diskStore, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: open store: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+// Put writes the job's current state. Safe to call on a nil store.
+func (s *diskStore) Put(j *client.Job, req client.SubmitRequest) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(storedJob{Job: j, Request: req}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode job %s: %w", j.ID, err)
+	}
+	final := filepath.Join(s.dir, j.ID+".json")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: persist job %s: %w", j.ID, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("service: persist job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Load reads every persisted job, sorted by ID (IDs are zero-padded
+// sequence numbers, so lexical order is submission order). Unparsable files
+// fail the load: a corrupted store should stop the daemon at startup, not
+// silently drop jobs. Safe to call on a nil store (returns nothing).
+func (s *diskStore) Load() ([]storedJob, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: read store: %w", err)
+	}
+	var jobs []storedJob
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("service: read stored job %s: %w", name, err)
+		}
+		var sj storedJob
+		if err := json.Unmarshal(data, &sj); err != nil {
+			return nil, fmt.Errorf("%w: service: corrupt stored job %s: %v", errdefs.ErrBadConfig, name, err)
+		}
+		if sj.Job == nil || sj.Job.ID == "" {
+			return nil, fmt.Errorf("%w: service: stored job %s has no job document", errdefs.ErrBadConfig, name)
+		}
+		jobs = append(jobs, sj)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Job.ID < jobs[k].Job.ID })
+	return jobs, nil
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autopipe/client"
+	"autopipe/internal/errdefs"
+)
+
+// TestStoreRoundTrip proves jobs persist and reload in submission order, and
+// that rewriting a job replaces its document.
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := openStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("openStore: %v", err)
+	}
+	reqs := []client.SubmitRequest{testPlanBody(0), testPlanBody(1)}
+	for i, req := range reqs {
+		j := &client.Job{ID: jobID(i + 1), Kind: client.KindPlan, State: client.StatePending}
+		if err := st.Put(j, req); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Rewrite job 1 as done; the store must keep one document per job.
+	done := &client.Job{ID: jobID(1), Kind: client.KindPlan, State: client.StateDone, Result: stubResult()}
+	if err := st.Put(done, reqs[0]); err != nil {
+		t.Fatalf("Put rewrite: %v", err)
+	}
+
+	jobs, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("loaded %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Job.ID != jobID(1) || jobs[1].Job.ID != jobID(2) {
+		t.Errorf("jobs out of order: %q, %q", jobs[0].Job.ID, jobs[1].Job.ID)
+	}
+	if jobs[0].Job.State != client.StateDone {
+		t.Errorf("rewritten job did not persist: %+v", jobs[0].Job)
+	}
+	// The result survives as equivalent JSON (the store pretty-prints).
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, jobs[0].Job.Result); err != nil {
+		t.Fatalf("compact stored result: %v", err)
+	}
+	if compact.String() != string(stubResult()) {
+		t.Errorf("stored result = %s, want %s", compact.String(), stubResult())
+	}
+	if jobs[1].Request.Plan == nil || jobs[1].Request.Plan.Run.GlobalBatch != reqs[1].Plan.Run.GlobalBatch {
+		t.Errorf("request did not round-trip: %+v", jobs[1].Request)
+	}
+}
+
+// TestStoreNil proves the nil store (memory-only mode) is a safe no-op.
+func TestStoreNil(t *testing.T) {
+	var st *diskStore
+	if err := st.Put(&client.Job{ID: "job-00000001"}, client.SubmitRequest{}); err != nil {
+		t.Errorf("nil Put: %v", err)
+	}
+	jobs, err := st.Load()
+	if err != nil || jobs != nil {
+		t.Errorf("nil Load = %v, %v; want nil, nil", jobs, err)
+	}
+	if st2, err := openStore(""); st2 != nil || err != nil {
+		t.Errorf("openStore(\"\") = %v, %v; want nil, nil", st2, err)
+	}
+}
+
+// TestStoreCorrupt proves a corrupted store fails the load loudly instead of
+// silently dropping jobs.
+func TestStoreCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir)
+	if err != nil {
+		t.Fatalf("openStore: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-00000001.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("write corrupt file: %v", err)
+	}
+	if _, err := st.Load(); !errors.Is(err, errdefs.ErrBadConfig) {
+		t.Errorf("Load over corrupt store = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestStoreIgnoresTempFiles proves interrupted atomic writes (stray .tmp
+// files) do not break the reload.
+func TestStoreIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir)
+	if err != nil {
+		t.Fatalf("openStore: %v", err)
+	}
+	if err := st.Put(&client.Job{ID: jobID(1), Kind: client.KindPlan, State: client.StatePending}, testPlanBody(0)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-00000002.json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatalf("write temp file: %v", err)
+	}
+	jobs, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Errorf("loaded %d jobs, want 1 (the .tmp file must be skipped)", len(jobs))
+	}
+}
+
+func jobID(n int) string { return fmt.Sprintf("job-%08d", n) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke soak-smoke chaos-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -86,6 +86,26 @@ service-smoke:
 	rm -rf bin/service-smoke-store
 	./bin/autopiped -smoke -store bin/service-smoke-store
 
+# soak-smoke runs the crash-recovery harness: a real daemon on a real job
+# store is killed and restarted mid-traffic three times, and every job must
+# complete exactly once, the cache must re-seed from the replayed store, and
+# planted torn files (plus any crash wreckage) must be quarantined — never a
+# corrupted boot. DESIGN.md §15.
+soak-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/autopiped ./cmd/autopiped
+	./bin/autopiped -soak -soak-cycles 3
+
+# chaos-smoke drives the load generator through the seeded chaos middleware
+# (injected latency, 5xx, 429, and torn responses from the checked-in plan):
+# the resilient client must still complete every request. Report-only — the
+# QPS numbers are not compared against the baseline, since chaos skews them
+# by design.
+chaos-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/autopiped ./cmd/autopiped
+	./bin/autopiped -loadgen -requests 120 -concurrency 6 -chaos testdata/chaos_basic.json
+
 # fmt-check fails (with the offending files listed) if anything is not
 # gofmt-clean.
 fmt-check:
@@ -100,10 +120,11 @@ tier1: build test
 # verify runs everything CI would: formatting, static analysis (go vet plus
 # the autopipelint invariant suite), the full test suite under the race
 # detector, the deep race pass over the planner engine, a one-shot benchmark
-# smoke, the fault-injection smoke, the service smoke, the sanitized
-# executions, and the tier-1 gate. (CI additionally runs fuzz-smoke, kept
-# out of verify so the local gate stays fast.)
-verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke service-smoke sanitize
+# smoke, the fault-injection smoke, the service smoke, the crash-recovery
+# soak, the chaos-loadgen smoke, the sanitized executions, and the tier-1
+# gate. (CI additionally runs fuzz-smoke, kept out of verify so the local
+# gate stays fast.)
+verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke service-smoke soak-smoke chaos-smoke sanitize
 
 clean:
 	$(GO) clean ./...

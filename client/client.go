@@ -7,25 +7,44 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"autopipe"
 )
 
 // Client talks to an autopiped daemon. The zero value is not usable; call
-// New. A Client is immutable after construction and safe for concurrent use
-// (it holds no per-request state), mirroring the Planner's contract.
+// New. A Client's configuration is immutable after construction and it is
+// safe for concurrent use; its only mutable state is the circuit breaker's
+// failure count, which is internally synchronized.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	budget  int
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	budget     int
 	// sleep is swapped out by tests so retry/backoff runs instantly.
 	sleep func(ctx context.Context, d time.Duration) error
+	// jitter returns a uniform sample in [0,1); tests pin it.
+	jitter func() float64
+	// now is the breaker's clock; tests advance it by hand.
+	now func() time.Time
+
+	// Circuit breaker: after brThreshold consecutive unavailable-class call
+	// failures, calls fail fast with ErrCircuitOpen until brCooldown passes;
+	// the first call after the cooldown is the probe that closes or reopens
+	// it. brThreshold 0 disables the breaker.
+	brThreshold int
+	brCooldown  time.Duration
+	brMu        sync.Mutex
+	brFails     int
+	brOpenUntil time.Time
 }
 
 // Option configures a Client at construction, in the same functional-option
@@ -40,7 +59,8 @@ func WithHTTPClient(hc *http.Client) Option {
 
 // WithRetries sets how many times a failed request is retried (default 2,
 // so up to 3 attempts). Only transport errors and retryable statuses —
-// 503 unavailable and 5xx — are retried; a typed 4xx/422 rejection is final.
+// 429 rate-limited, 503 unavailable, and bare 5xx — are retried; a typed
+// 4xx/422 rejection is final.
 func WithRetries(n int) Option {
 	return func(c *Client) {
 		if n >= 0 {
@@ -50,11 +70,40 @@ func WithRetries(n int) Option {
 }
 
 // WithBackoff sets the base retry backoff (default 100ms). Attempt k sleeps
-// base<<k, capped at 5s; the sleep is cut short by context cancellation.
+// a full-jitter fraction of min(base<<k, max backoff) — uniform in
+// (0, base<<k] — so a fleet of clients hammering a recovering daemon spreads
+// out instead of thundering in lockstep. A server-sent Retry-After larger
+// than the jittered value wins (still subject to the cap), and the sleep is
+// cut short by context cancellation.
 func WithBackoff(base time.Duration) Option {
 	return func(c *Client) {
 		if base > 0 {
 			c.backoff = base
+		}
+	}
+}
+
+// WithMaxBackoff caps every retry sleep, jittered or server-directed
+// (default 5s).
+func WithMaxBackoff(max time.Duration) Option {
+	return func(c *Client) {
+		if max > 0 {
+			c.maxBackoff = max
+		}
+	}
+}
+
+// WithCircuitBreaker tunes the client's failure-rate circuit breaker: after
+// failures consecutive calls end in an unavailable-class error (transport
+// failure, 503, bare 5xx — not typed rejections, not 429), subsequent calls
+// fail fast with ErrCircuitOpen for the cooldown, then a single probe call
+// decides whether to close or reopen. The default is 5 failures with a 1s
+// cooldown; failures <= 0 disables the breaker entirely.
+func WithCircuitBreaker(failures int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		c.brThreshold = failures
+		if cooldown > 0 {
+			c.brCooldown = cooldown
 		}
 	}
 }
@@ -88,11 +137,16 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("%w: client: base URL %q must be absolute (http://host:port)", autopipe.ErrBadConfig, baseURL)
 	}
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		hc:      &http.Client{Timeout: 60 * time.Second},
-		retries: 2,
-		backoff: 100 * time.Millisecond,
-		sleep:   sleepCtx,
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{Timeout: 60 * time.Second},
+		retries:     2,
+		backoff:     100 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+		sleep:       sleepCtx,
+		jitter:      rand.Float64,
+		now:         time.Now,
+		brThreshold: 5,
+		brCooldown:  time.Second,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -260,57 +314,142 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // roundTrip sends the request, retrying transport errors and retryable
-// statuses with exponential backoff. Non-2xx responses decode into a typed
+// statuses with capped, full-jitter exponential backoff (a server-sent
+// Retry-After wins when larger). Non-2xx responses decode into a typed
 // *Error; a response that fails to decode becomes an ErrInternal-wrapped
-// error carrying the status.
+// error carrying the status. The circuit breaker is consulted once per call:
+// while open, the call fails fast without touching the wire.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	if err := c.breakerAllow(); err != nil {
+		return nil, 0, err
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, status, err := c.once(ctx, method, path, body)
+		data, status, retryAfter, err := c.once(ctx, method, path, body)
 		switch {
 		case err == nil:
+			c.breakerRecord(nil)
 			return data, status, nil
 		case !retryable(err) || attempt >= c.retries:
+			c.breakerRecord(err)
 			return nil, status, err
 		}
 		lastErr = err
-		d := c.backoff << attempt
-		if limit := 5 * time.Second; d > limit {
-			d = limit
-		}
+		d := c.backoffFor(attempt, retryAfter)
 		if err := c.sleep(ctx, d); err != nil {
+			c.breakerRecord(lastErr)
 			return nil, 0, fmt.Errorf("client: retry canceled after %v: %w", lastErr, err)
 		}
 	}
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+// backoffFor computes the sleep before retrying attempt: full jitter over
+// min(base<<attempt, cap), overridden by a larger server Retry-After (which
+// is itself subject to the cap). The jitter multiplies the exponential term
+// only — a daemon that names a recovery time gets exactly that.
+func (c *Client) backoffFor(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.backoff << attempt
+	if d > c.maxBackoff || d <= 0 { // <= 0: the shift overflowed
+		d = c.maxBackoff
+	}
+	d = time.Duration(c.jitter() * float64(d))
+	if retryAfter > d {
+		d = retryAfter
+		if d > c.maxBackoff {
+			d = c.maxBackoff
+		}
+	}
+	return d
+}
+
+// breakerAllow reports whether the circuit breaker admits a call right now.
+func (c *Client) breakerAllow() error {
+	if c.brThreshold <= 0 {
+		return nil
+	}
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	if c.now().Before(c.brOpenUntil) {
+		return fmt.Errorf("client: failing fast until %s: %w: %w",
+			c.brOpenUntil.Format(time.RFC3339), ErrCircuitOpen, ErrUnavailable)
+	}
+	return nil
+}
+
+// breakerRecord feeds a finished call's outcome to the breaker. Only
+// unavailable-class failures count — a typed rejection or a 429 from a
+// healthy, rate-limiting daemon proves the daemon is alive. The failure
+// count is deliberately not reset when the breaker opens: the first probe
+// call after the cooldown reopens it on failure, closes it on success.
+func (c *Client) breakerRecord(err error) {
+	if c.brThreshold <= 0 {
+		return
+	}
+	failure := err != nil && errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrRateLimited)
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	if !failure {
+		c.brFails = 0
+		c.brOpenUntil = time.Time{}
+		return
+	}
+	c.brFails++
+	if c.brFails >= c.brThreshold {
+		c.brOpenUntil = c.now().Add(c.brCooldown)
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, int, time.Duration, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: client: build request: %v", autopipe.ErrBadConfig, err)
+		return nil, 0, 0, fmt.Errorf("%w: client: build request: %v", autopipe.ErrBadConfig, err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's remaining budget so the daemon can stop work
+	// (and yield its search worker) the moment this caller would give up.
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	} else if c.hc.Timeout > 0 {
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(c.hc.Timeout.Milliseconds(), 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport errors (refused connection, reset, client timeout) are
 		// retryable by classification below.
-		return nil, 0, fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
+		return nil, 0, 0, fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, resp.StatusCode, fmt.Errorf("client: read response: %w: %v", ErrUnavailable, err)
+		return nil, resp.StatusCode, retryAfter, fmt.Errorf("client: read response: %w: %v", ErrUnavailable, err)
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return data, resp.StatusCode, nil
+		return data, resp.StatusCode, 0, nil
 	}
-	return nil, resp.StatusCode, decodeError(data, resp.StatusCode)
+	return nil, resp.StatusCode, retryAfter, decodeError(data, resp.StatusCode)
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header (the
+// only form the daemon emits; HTTP-date values from foreign proxies are
+// ignored rather than guessed at).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // decodeError turns a non-2xx body into a typed error. The daemon always
@@ -330,14 +469,15 @@ func decodeError(data []byte, status int) error {
 }
 
 // retryable reports whether the failed attempt is worth repeating: transient
-// daemon conditions only. Typed rejections (bad config, infeasible, OOM) and
-// terminal failures are final on the first response.
+// daemon conditions (unavailable, rate-limited) only. Typed rejections (bad
+// config, infeasible, OOM) and terminal failures are final on the first
+// response.
 func retryable(err error) bool {
 	var we *Error
 	if errors.As(err, &we) {
-		return we.Code == CodeUnavailable
+		return we.Code == CodeUnavailable || we.Code == CodeRateLimited
 	}
-	return errors.Is(err, ErrUnavailable)
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrRateLimited)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -183,9 +183,22 @@ const (
 	CodeDeadline   = "deadline_exceeded"
 	CodeNotFound   = "not_found"
 	// CodeUnavailable marks a transient daemon condition — a full job queue
-	// or a draining shutdown. It is the one code the client retries.
+	// or a draining shutdown. The client retries it (with backoff and any
+	// server-supplied Retry-After).
 	CodeUnavailable = "unavailable"
+	// CodeRateLimited marks a request shed by the daemon's admission
+	// control (token-bucket rate limiter). Retryable, like unavailable, but
+	// distinct: a rate-limited daemon is healthy, so the client's circuit
+	// breaker must not count it as a failure.
+	CodeRateLimited = "rate_limited"
 )
+
+// DeadlineHeader carries the client's remaining per-call budget, in integer
+// milliseconds, on POST /v1/jobs. The daemon derives the engine context's
+// deadline from it, so a caller that has already given up stops burning
+// search workers server-side. The client stamps it automatically from the
+// request context's deadline (or, absent one, its per-attempt HTTP timeout).
+const DeadlineHeader = "X-Autopipe-Deadline-Ms"
 
 // Error is the wire form of a typed failure. It implements error, and
 // Unwrap returns the sentinel its code names, so errors.Is(err,
@@ -227,6 +240,8 @@ func (e *Error) Unwrap() error {
 		return ErrNotFound
 	case CodeUnavailable:
 		return ErrUnavailable
+	case CodeRateLimited:
+		return ErrRateLimited
 	default:
 		return autopipe.ErrInternal
 	}
@@ -239,6 +254,15 @@ var (
 	// ErrUnavailable reports a transiently overloaded or draining daemon
 	// (full queue, shutdown). Safe to retry; the Client does so.
 	ErrUnavailable = errors.New("service unavailable")
+	// ErrRateLimited reports a request shed by the daemon's token-bucket
+	// admission control. Safe to retry after the Retry-After the daemon
+	// sends; unlike ErrUnavailable it does not indicate an unhealthy daemon.
+	ErrRateLimited = errors.New("rate limited")
+	// ErrCircuitOpen reports a call rejected locally by the client's circuit
+	// breaker: enough consecutive calls failed with unavailable-class errors
+	// that the client is failing fast instead of queueing more retries
+	// against a dead daemon. Errors carrying it also match ErrUnavailable.
+	ErrCircuitOpen = errors.New("circuit breaker open")
 )
 
 // Encode classifies err into its wire form and HTTP status. The mapping is
@@ -246,8 +270,9 @@ var (
 //
 //	ErrBadConfig → 400  bad_config        ErrInfeasible → 422  infeasible
 //	ErrOOM       → 422  oom               ErrNotFound   → 404  not_found
-//	ErrUnavailable → 503 unavailable      context.Canceled → 499 canceled
-//	context.DeadlineExceeded → 504        anything else → 500  internal
+//	ErrRateLimited → 429 rate_limited     ErrUnavailable → 503 unavailable
+//	context.Canceled → 499 canceled       context.DeadlineExceeded → 504
+//	anything else → 500  internal
 func Encode(err error) (*Error, int) {
 	var code string
 	var status int
@@ -260,6 +285,8 @@ func Encode(err error) (*Error, int) {
 		code, status = CodeOOM, http.StatusUnprocessableEntity
 	case errors.Is(err, ErrNotFound):
 		code, status = CodeNotFound, http.StatusNotFound
+	case errors.Is(err, ErrRateLimited):
+		code, status = CodeRateLimited, http.StatusTooManyRequests
 	case errors.Is(err, ErrUnavailable):
 		code, status = CodeUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):

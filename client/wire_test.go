@@ -25,6 +25,7 @@ func TestEncodeStatusContract(t *testing.T) {
 		{"oom", fmt.Errorf("%w: stage 2", autopipe.ErrOOM), CodeOOM, http.StatusUnprocessableEntity},
 		{"not found", fmt.Errorf("job %q: %w", "job-1", ErrNotFound), CodeNotFound, http.StatusNotFound},
 		{"unavailable", fmt.Errorf("queue full: %w", ErrUnavailable), CodeUnavailable, http.StatusServiceUnavailable},
+		{"rate limited", fmt.Errorf("admission: %w", ErrRateLimited), CodeRateLimited, http.StatusTooManyRequests},
 		{"canceled", fmt.Errorf("wait: %w", context.Canceled), CodeCanceled, 499},
 		{"deadline", fmt.Errorf("search: %w", context.DeadlineExceeded), CodeDeadline, http.StatusGatewayTimeout},
 		{"internal", errors.New("unclassified"), CodeInternal, http.StatusInternalServerError},
@@ -55,6 +56,7 @@ func TestErrorRoundTrip(t *testing.T) {
 		autopipe.ErrOOM,
 		ErrNotFound,
 		ErrUnavailable,
+		ErrRateLimited,
 		context.Canceled,
 		context.DeadlineExceeded,
 	}

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	autopiped [-addr 127.0.0.1:7180] [-store DIR] [-workers N] \
+//	          [-rate N] [-burst N] [-queue-wait 2s] [-chaos plan.json] \
 //	          [-parallelism N] [-timeout 30s] [-cpuprofile p] [-memprofile p]
 //	autopiped -loadgen [-target URL] [-requests N] [-concurrency N] \
-//	          [-distinct N] [-bench BENCH_service.json]
+//	          [-distinct N] [-bench BENCH_service.json] [-chaos plan.json]
 //	autopiped -smoke [-store DIR]
+//	autopiped -soak [-soak-cycles N] [-soak-jobs N] [-store DIR] [-chaos plan.json]
 //
 // The default mode serves until SIGINT/SIGTERM, then drains: unfinished
 // persisted jobs revert to pending so the next start re-runs them. -loadgen
@@ -17,6 +19,10 @@
 // empty) and reports QPS, latency percentiles, and the cache-hit ratio;
 // -bench additionally writes the report as an autopipebench baseline.
 // -smoke runs the end-to-end CI check against a throwaway daemon.
+// -soak runs the crash-recovery harness: it kills and restarts a real daemon
+// -soak-cycles times mid-traffic and asserts exactly-once completion, cache
+// re-seeding, and store quarantine; -chaos layers seeded fault injection on
+// top of any of these modes.
 package main
 
 import (
@@ -43,6 +49,9 @@ func main() {
 	cacheEntries := flag.Int("cache", 1024, "content-addressed plan cache capacity")
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
 	smoke := flag.Bool("smoke", false, "run the end-to-end service smoke check and exit")
+	soak := flag.Bool("soak", false, "run the crash-recovery soak harness and exit")
+	soakCycles := flag.Int("soak-cycles", 3, "soak: kill/restart cycles to run")
+	soakJobs := flag.Int("soak-jobs", 0, "soak: total plan jobs across all cycles (0 = 4 per cycle)")
 	target := flag.String("target", "", "loadgen target base URL (empty = start an in-process daemon)")
 	requests := flag.Int("requests", 200, "loadgen: total plan requests")
 	concurrency := flag.Int("concurrency", 8, "loadgen: concurrent client workers")
@@ -70,6 +79,10 @@ func main() {
 		if err := service.Smoke(ctx, sf.Store, os.Stdout); err != nil {
 			fail(err)
 		}
+	case *soak:
+		if err := runSoak(pf, sf, *soakCycles, *soakJobs); err != nil {
+			fail(err)
+		}
 	case *loadgen:
 		if err := runLoadgen(pf, sf, *target, *requests, *concurrency, *distinct, *benchPath, *workers); err != nil {
 			fail(err)
@@ -81,8 +94,21 @@ func main() {
 	}
 }
 
+// loadChaos parses the plan named by -chaos; (nil, nil) when none was asked
+// for, so callers pass the result straight to service.Chaos.
+func loadChaos(sf *cliutil.ServiceFlags) (*service.ChaosPlan, error) {
+	if sf.Chaos == "" {
+		return nil, nil
+	}
+	return service.LoadChaos(sf.Chaos)
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains.
 func serve(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, workers, queueDepth, cacheEntries int) error {
+	plan, err := loadChaos(sf)
+	if err != nil {
+		return err
+	}
 	srv, err := service.New(service.Config{
 		Parallelism:  pf.Parallelism,
 		Workers:      workers,
@@ -90,6 +116,9 @@ func serve(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, workers, queueDep
 		CacheEntries: cacheEntries,
 		StoreDir:     sf.Store,
 		JobTimeout:   pf.Timeout,
+		RateLimit:    sf.Rate,
+		RateBurst:    sf.Burst,
+		QueueWait:    sf.QueueWait,
 		Obs:          obs.NewRegistry(),
 	})
 	if err != nil {
@@ -101,7 +130,10 @@ func serve(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, workers, queueDep
 	if err != nil {
 		return fmt.Errorf("autopiped: listen: %w", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: service.Chaos(srv.Handler(), plan, srv.Registry())}
+	if plan != nil {
+		fmt.Printf("autopiped: chaos plan %q armed (seed=%d, %d rules)\n", plan.Name, plan.Seed, len(plan.Chaos))
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	fmt.Printf("autopiped: serving on http://%s (store=%s, workers=%d)\n",
@@ -132,10 +164,17 @@ func runLoadgen(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, target strin
 	defer cancel()
 
 	if target == "" {
+		plan, err := loadChaos(sf)
+		if err != nil {
+			return err
+		}
 		srv, err := service.New(service.Config{
 			Parallelism: pf.Parallelism,
 			Workers:     workers,
 			StoreDir:    sf.Store,
+			RateLimit:   sf.Rate,
+			RateBurst:   sf.Burst,
+			QueueWait:   sf.QueueWait,
 		})
 		if err != nil {
 			return err
@@ -145,7 +184,7 @@ func runLoadgen(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, target strin
 		if err != nil {
 			return fmt.Errorf("autopiped: listen: %w", err)
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		hs := &http.Server{Handler: service.Chaos(srv.Handler(), plan, srv.Registry())}
 		go func() { _ = hs.Serve(ln) }()
 		defer func() {
 			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -176,6 +215,37 @@ func runLoadgen(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, target strin
 		}
 		fmt.Printf("baseline written to %s\n", benchPath)
 	}
+	return nil
+}
+
+// runSoak drives the crash-recovery harness: kill/restart cycles over a real
+// daemon on a real store, with every resilience invariant checked.
+func runSoak(pf *cliutil.PlannerFlags, sf *cliutil.ServiceFlags, cycles, jobs int) error {
+	ctx, cancel := pf.Context()
+	defer cancel()
+	plan, err := loadChaos(sf)
+	if err != nil {
+		return err
+	}
+	storeDir := sf.Store
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "autopiped-soak-*")
+		if err != nil {
+			return fmt.Errorf("autopiped: soak store: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	if _, err := service.Soak(ctx, service.SoakOptions{
+		StoreDir: storeDir,
+		Cycles:   cycles,
+		Jobs:     jobs,
+		Chaos:    plan,
+		Progress: os.Stdout,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("soak PASS")
 	return nil
 }
 

@@ -16,6 +16,9 @@
 //     deadlock check (schedule.CheckDeadlock: a cycle in the dependency
 //     graph means the executor would stall with every device blocked).
 //   - "faults": a fault plan; it must satisfy fault.Parse's validation.
+//   - "chaos": an HTTP chaos plan for the autopiped middleware; it must
+//     satisfy service.ParseChaos (unknown kinds/fields, out-of-range
+//     probabilities, and kind/parameter mismatches all fail).
 //   - "bounds" (+ "blocks", "stageDevices"): a partition-plan document;
 //     bounds must form a valid partition of the block count and the device
 //     counts must be positive.
@@ -42,6 +45,7 @@ import (
 	"autopipe/internal/fault"
 	"autopipe/internal/partition"
 	"autopipe/internal/schedule"
+	"autopipe/internal/service"
 )
 
 // Name is the analyzer name used in diagnostics.
@@ -117,6 +121,8 @@ func CheckFile(path string) ([]analysis.Diagnostic, error) {
 		return checkSchedule(path, data), nil
 	case has(probe, "faults"):
 		return checkFaults(path, data), nil
+	case has(probe, "chaos"):
+		return checkChaos(path, data), nil
 	case has(probe, "bounds") && has(probe, "stageDevices"):
 		return checkPlan(path, data), nil
 	case has(probe, "benchmarks") && has(probe, "suite"):
@@ -151,6 +157,13 @@ func checkSchedule(path string, data []byte) []analysis.Diagnostic {
 func checkFaults(path string, data []byte) []analysis.Diagnostic {
 	if _, err := fault.Parse(data); err != nil {
 		return []analysis.Diagnostic{diag(path, "malformed fault plan: %v", err)}
+	}
+	return nil
+}
+
+func checkChaos(path string, data []byte) []analysis.Diagnostic {
+	if _, err := service.ParseChaos(data); err != nil {
+		return []analysis.Diagnostic{diag(path, "malformed chaos plan: %v", err)}
 	}
 	return nil
 }

@@ -22,7 +22,7 @@ func check(t *testing.T, name string) []string {
 }
 
 func TestValidFilesAreClean(t *testing.T) {
-	for _, name := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json"} {
+	for _, name := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json"} {
 		if msgs := check(t, name); len(msgs) != 0 {
 			t.Errorf("%s: unexpected findings: %v", name, msgs)
 		}
@@ -63,6 +63,13 @@ func TestBadPlanDoc(t *testing.T) {
 	}
 }
 
+func TestBadChaosPlan(t *testing.T) {
+	msgs := check(t, "chaos_bad.json")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "malformed chaos plan") {
+		t.Fatalf("want one malformed-chaos-plan finding, got %v", msgs)
+	}
+}
+
 func TestBadBenchBaseline(t *testing.T) {
 	msgs := check(t, "bench_bad.json")
 	if len(msgs) != 1 || !strings.Contains(msgs[0], "malformed bench baseline") {
@@ -81,12 +88,12 @@ func TestCheckPaths(t *testing.T) {
 	for _, d := range diags {
 		bad[filepath.Base(d.Pos.Filename)] = true
 	}
-	for _, want := range []string{"sched_cycle.json", "sched_dup.json", "faults_bad.json", "plan_bad.json", "bench_bad.json"} {
+	for _, want := range []string{"sched_cycle.json", "sched_dup.json", "faults_bad.json", "plan_bad.json", "bench_bad.json", "chaos_bad.json"} {
 		if !bad[want] {
 			t.Errorf("sweep missed %s (findings: %v)", want, diags)
 		}
 	}
-	for _, clean := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json"} {
+	for _, clean := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json"} {
 		if bad[clean] {
 			t.Errorf("sweep flagged clean file %s", clean)
 		}

@@ -78,6 +78,17 @@ type ServiceFlags struct {
 	Addr string
 	// Store is the job-store directory; empty runs memory-only.
 	Store string
+	// Rate is the steady-state admission rate in submits/sec; 0 disables the
+	// rate limiter.
+	Rate float64
+	// Burst is the rate-limiter burst size; 0 defaults to max(1, Rate).
+	Burst int
+	// QueueWait bounds how long an admitted submit may wait for a queue slot
+	// before being shed with 503; 0 sheds immediately on a full queue.
+	QueueWait time.Duration
+	// Chaos is a chaos-plan JSON file wrapped around the HTTP handler; empty
+	// means no injection.
+	Chaos string
 }
 
 // RegisterService installs the shared daemon flags on fs (before fs.Parse).
@@ -85,6 +96,10 @@ func RegisterService(fs *flag.FlagSet) *ServiceFlags {
 	sf := &ServiceFlags{}
 	fs.StringVar(&sf.Addr, "addr", "127.0.0.1:7180", "HTTP listen address for the planning API")
 	fs.StringVar(&sf.Store, "store", "", "job-store directory for restart-resumable jobs (empty = memory only)")
+	fs.Float64Var(&sf.Rate, "rate", 0, "admission rate limit in submits/sec, rejected with 429 + Retry-After (0 = unlimited)")
+	fs.IntVar(&sf.Burst, "burst", 0, "admission burst size above -rate (0 = max(1, rate))")
+	fs.DurationVar(&sf.QueueWait, "queue-wait", 0, "how long a submit may wait for a queue slot before 503 + Retry-After (0 = shed immediately)")
+	fs.StringVar(&sf.Chaos, "chaos", "", "chaos-plan JSON file injected around the HTTP API (empty = no chaos)")
 	return sf
 }
 

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the daemon's admission rate limiter: a classic token bucket
+// refilled continuously at rate tokens/sec up to burst. A nil bucket admits
+// everything — rate limiting is opt-in (Config.RateLimit).
+//
+// The clock is a field so tests drive admission decisions deterministically;
+// production buckets use time.Now.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket builds a bucket admitting rate requests/sec with the given
+// burst (<= 0 defaults to max(1, rate)). A rate <= 0 returns nil: unlimited.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	tb := &tokenBucket{rate: rate, burst: b, tokens: b, now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// take consumes one token if available. When the bucket is empty it returns
+// false and the wait until the next token accrues — the Retry-After the
+// daemon sends with its 429.
+func (b *tokenBucket) take() (ok bool, wait time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// retryAfterSeconds derives the Retry-After the daemon advertises when it
+// sheds load: the queue backlog divided by the worker pool's drain rate,
+// assuming roughly one second per job when nothing better is known. The
+// value is clamped to [1, 60] — an integer of delay-seconds, never zero (a
+// zero would tell clients to hammer a daemon that just declared overload).
+func retryAfterSeconds(queueDepth, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (queueDepth + workers) / workers // ceil-ish: ≥ 1 whenever depth ≥ 0
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// ceilSeconds rounds a wait up to whole delay-seconds for the Retry-After
+// header, never below 1.
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

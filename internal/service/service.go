@@ -56,6 +56,17 @@ type Config struct {
 	StoreDir string
 	// JobTimeout bounds each job's engine run (0 = no limit).
 	JobTimeout time.Duration
+	// RateLimit, when positive, caps admitted submissions at this many
+	// requests/sec (token bucket); excess requests are rejected with 429
+	// rate_limited plus a Retry-After naming when the next token accrues.
+	RateLimit float64
+	// RateBurst is the rate limiter's burst capacity; <= 0 means max(1,
+	// RateLimit). Ignored when RateLimit is 0.
+	RateBurst int
+	// QueueWait bounds how long a submission may wait for a queue slot when
+	// the queue is full before being shed with 503 + Retry-After. 0 sheds
+	// immediately — overload never translates into unbounded submit latency.
+	QueueWait time.Duration
 	// Obs receives service and planner telemetry; nil means a fresh
 	// registry (exposed at /metrics either way).
 	Obs *obs.Registry
@@ -68,6 +79,11 @@ type job struct {
 	wire client.Job
 	req  client.SubmitRequest
 	done chan struct{}
+	// deadline is the submitting caller's give-up time, derived from the
+	// client's deadline header; zero means no caller deadline. In-memory
+	// only: a job replayed after a restart runs without one (its original
+	// caller's budget is unknowable by then).
+	deadline time.Time
 }
 
 // snapshot returns a copy of the wire document safe to marshal outside the
@@ -81,12 +97,13 @@ func (j *job) snapshot() client.Job {
 // Server is the autopiped daemon core. Create with New, launch the workers
 // with Start, mount Handler on an http.Server, and Close to drain.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	store *diskStore
-	cache *planCache
-	sf    *singleflight
-	mux   *http.ServeMux
+	cfg     Config
+	reg     *obs.Registry
+	store   *diskStore
+	cache   *planCache
+	sf      *singleflight
+	limiter *tokenBucket
+	mux     *http.ServeMux
 
 	// engine executes one validated request. It is a field so tests can
 	// gate or count executions; production servers always use runEngine.
@@ -123,16 +140,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		reg:    reg,
-		store:  store,
-		cache:  newPlanCache(cfg.CacheEntries),
-		sf:     newSingleflight(),
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *job, cfg.QueueDepth),
-		jobs:   make(map[string]*job),
-		nextID: 1,
+		cfg:     cfg,
+		reg:     reg,
+		store:   store,
+		cache:   newPlanCache(cfg.CacheEntries),
+		sf:      newSingleflight(),
+		limiter: newTokenBucket(cfg.RateLimit, cfg.RateBurst),
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		nextID:  1,
 	}
 	s.engine = s.runEngine
 	if err := s.replay(); err != nil {
@@ -145,10 +163,16 @@ func New(cfg Config) (*Server, error) {
 
 // replay loads the persisted jobs: terminal ones become servable history
 // (their results re-seed the cache), unfinished ones are re-enqueued.
+// Damaged store files were quarantined by Load, not fatal: the count is
+// surfaced on service.store.quarantined so a monitoring rule can notice a
+// crash that tore the store.
 func (s *Server) replay() error {
-	stored, err := s.store.Load()
+	stored, quarantined, err := s.store.Load()
 	if err != nil {
 		return err
+	}
+	if n := len(quarantined); n > 0 {
+		s.reg.Counter("service.store.quarantined").Add(float64(n))
 	}
 	for _, sj := range stored {
 		j := &job{wire: *sj.Job, req: sj.Request, done: make(chan struct{})}
@@ -239,12 +263,22 @@ func (s *Server) buildMux() {
 	s.mux = mux
 }
 
-// handleSubmit accepts a job. Structural problems (malformed JSON, unknown
-// kind, missing payload) reject with 400 before a job exists; a full queue
-// rejects with 503. With ?wait=1 the response blocks until the job is
-// terminal and its HTTP status reflects the typed outcome (200 on success,
-// 400/422/… on failure); without it, 202 + the pending document.
+// handleSubmit accepts a job. Admission control runs first: the token
+// bucket rejects excess load with 429 rate_limited, and a queue that stays
+// full past QueueWait sheds with 503 — both carry a Retry-After computed
+// from when capacity is expected back, so well-behaved clients spread out
+// instead of hammering an overloaded daemon. Structural problems (malformed
+// JSON, unknown kind, missing payload, a garbled deadline header) reject
+// with 400 before a job exists. With ?wait=1 the response blocks until the
+// job is terminal and its HTTP status reflects the typed outcome (200 on
+// success, 400/422/… on failure); without it, 202 + the pending document.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if ok, wait := s.limiter.take(); !ok {
+		s.reg.Counter("service.admission.ratelimited").Inc()
+		s.writeErrorRetry(w, ceilSeconds(wait),
+			fmt.Errorf("service: submission rate limit exceeded: %w", client.ErrRateLimited))
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	var req client.SubmitRequest
@@ -253,6 +287,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Validate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	deadline, err := parseDeadline(r.Header.Get(client.DeadlineHeader))
+	if err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -265,15 +304,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.writeError(w, fmt.Errorf("service: draining for shutdown: %w", client.ErrUnavailable))
+		s.writeErrorRetry(w, 1, fmt.Errorf("service: draining for shutdown: %w", client.ErrUnavailable))
 		return
 	}
 	id := fmt.Sprintf("job-%08d", s.nextID)
 	s.nextID++
 	j := &job{
-		wire: client.Job{ID: id, Kind: req.Kind, State: client.StatePending, Key: key},
-		req:  req,
-		done: make(chan struct{}),
+		wire:     client.Job{ID: id, Kind: req.Kind, State: client.StatePending, Key: key},
+		req:      req,
+		done:     make(chan struct{}),
+		deadline: deadline,
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
@@ -294,20 +334,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.respondJob(w, r, j)
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.reg.Gauge("service.queue.depth").Set(float64(len(s.queue)))
-	default:
+	if !s.enqueue(r.Context(), j) {
+		// Shed: the job must vanish completely — from the map, the listing
+		// order, and the disk store — or a restart would resurrect work the
+		// caller was told to retry elsewhere.
 		s.mu.Lock()
 		delete(s.jobs, id)
 		if n := len(s.order); n > 0 && s.order[n-1] == id {
 			s.order = s.order[:n-1]
 		}
 		s.mu.Unlock()
-		s.writeError(w, fmt.Errorf("service: job queue full (%d deep): %w", s.cfg.QueueDepth, client.ErrUnavailable))
+		_ = s.store.Delete(id)
+		s.reg.Counter("service.admission.shed").Inc()
+		s.writeErrorRetry(w, retryAfterSeconds(len(s.queue), s.cfg.Workers),
+			fmt.Errorf("service: job queue full (%d deep): %w", s.cfg.QueueDepth, client.ErrUnavailable))
 		return
 	}
+	s.reg.Counter("service.admission.admitted").Inc()
+	s.reg.Gauge("service.queue.depth").Set(float64(len(s.queue)))
 	s.respondJob(w, r, j)
+}
+
+// enqueue offers j to the worker queue, waiting up to QueueWait for a slot
+// (or the submitter's own disconnect, whichever first). Reports whether the
+// job was admitted.
+func (s *Server) enqueue(ctx context.Context, j *job) bool {
+	select {
+	case s.queue <- j:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return false
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.queue <- j:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // respondJob writes the job document. With ?wait=1 it first blocks for a
@@ -382,6 +451,7 @@ func (s *Server) runJob(j *job) {
 	s.reg.Gauge("service.queue.depth").Set(float64(len(s.queue)))
 	j.mu.Lock()
 	key := j.wire.Key
+	deadline := j.deadline
 	j.wire.State = client.StateRunning
 	wire := j.wire
 	j.mu.Unlock()
@@ -397,11 +467,25 @@ func (s *Server) runJob(j *job) {
 	}
 	s.reg.Counter("service.cache.misses").Inc()
 
+	// A caller deadline that lapsed while the job queued means nobody is
+	// waiting for this search: fail it typed (504 on the wire) without
+	// burning engine time. A deadline still in the future bounds the engine
+	// context, so an expensive search stops as soon as its caller gives up.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.reg.Counter("service.deadline.expired").Inc()
+		s.failJob(j, fmt.Errorf("service: caller deadline lapsed while the job queued: %w", context.DeadlineExceeded))
+		return
+	}
 	ctx := s.ctx
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
+	}
+	if !deadline.IsZero() {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, deadline)
+		defer dcancel()
 	}
 	val, err, shared := s.sf.Do(key, func() (json.RawMessage, error) {
 		// Double-check the cache now that this call owns the key. A job can
@@ -508,6 +592,28 @@ func marshalResult(v any) (json.RawMessage, error) {
 		return nil, fmt.Errorf("%w: service: encode result: %v", errdefs.ErrInternal, err)
 	}
 	return data, nil
+}
+
+// parseDeadline converts the client's relative-milliseconds deadline header
+// into an absolute give-up time. Empty means no caller deadline; anything
+// that is not a positive integer is a caller bug worth rejecting loudly.
+func parseDeadline(header string) (time.Time, error) {
+	if header == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(header, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("%w: service: malformed %s header %q (want positive relative milliseconds)",
+			errdefs.ErrBadConfig, client.DeadlineHeader, header)
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+}
+
+// writeErrorRetry is writeError plus a Retry-After of delay-seconds — every
+// load-shedding rejection names when to come back.
+func (s *Server) writeErrorRetry(w http.ResponseWriter, retryAfter int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	s.writeError(w, err)
 }
 
 // writeError renders err in the wire error envelope at its mapped status.

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -399,6 +401,410 @@ func TestQueueFull(t *testing.T) {
 	}
 	if !errors.Is(we, client.ErrUnavailable) {
 		t.Errorf("decoded error is not ErrUnavailable")
+	}
+}
+
+// submitWithDeadline posts a job with the client deadline header set.
+func submitWithDeadline(t *testing.T, base string, req client.SubmitRequest, deadlineMs string, wait bool) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	url := base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(client.DeadlineHeader, deadlineMs)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestRateLimitAdmission proves the token bucket rejects excess submissions
+// with 429 rate_limited plus a Retry-After naming when the next token
+// accrues, and admits again once it does. The bucket clock is stubbed so the
+// refill schedule is deterministic.
+func TestRateLimitAdmission(t *testing.T) {
+	var offsetMs atomic.Int64
+	srv, hs := newTestServer(t, Config{RateLimit: 1, RateBurst: 1}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		return stubResult(), nil
+	})
+	base := time.Now()
+	srv.limiter.mu.Lock()
+	srv.limiter.last = base
+	srv.limiter.tokens = 1
+	srv.limiter.now = func() time.Time { return base.Add(time.Duration(offsetMs.Load()) * time.Millisecond) }
+	srv.limiter.mu.Unlock()
+
+	// The only token admits the first submission.
+	resp, data := submit(t, hs.URL, testPlanBody(0), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, data)
+	}
+	// Same instant, empty bucket: 429 with Retry-After 1 (one token/sec).
+	resp, data = submit(t, hs.URL, testPlanBody(1), false)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit: status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	we := decodeWireError(t, data)
+	if we.Code != client.CodeRateLimited {
+		t.Errorf("code = %q, want %q", we.Code, client.CodeRateLimited)
+	}
+	if !errors.Is(we, client.ErrRateLimited) {
+		t.Errorf("decoded error is not ErrRateLimited")
+	}
+	if v := srv.Registry().Counter("service.admission.ratelimited").Value(); v != 1 {
+		t.Errorf("service.admission.ratelimited = %v, want 1", v)
+	}
+	// 1.5 simulated seconds later a token has accrued: admitted again.
+	offsetMs.Store(1500)
+	resp, data = submit(t, hs.URL, testPlanBody(1), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill submit: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestQueueFullShedsWithRetryAfter proves the overload path end to end: a
+// shed submission gets 503 + Retry-After derived from queue depth, the shed
+// job vanishes from the store (no resurrection on restart) and the listing,
+// and the shed/admitted counters surface on /metrics.
+func TestQueueFullShedsWithRetryAfter(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1, StoreDir: dir}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		entered <- struct{}{}
+		<-release
+		return stubResult(), nil
+	})
+	defer close(release)
+
+	// Occupy the worker, then fill the 1-deep queue.
+	if resp, data := submit(t, hs.URL, testPlanBody(0), false); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, data)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never reached the engine")
+	}
+	if resp, data := submit(t, hs.URL, testPlanBody(1), false); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d: %s", resp.StatusCode, data)
+	}
+
+	// Third sheds: QueueWait is 0, so immediately, with Retry-After =
+	// (depth 1 + workers 1) / workers 1 = 2 seconds of drain estimate.
+	resp, data := submit(t, hs.URL, testPlanBody(2), false)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed submit: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if !errors.Is(decodeWireError(t, data), client.ErrUnavailable) {
+		t.Errorf("shed error is not ErrUnavailable")
+	}
+
+	// The shed job must not linger anywhere: not fetchable, not on disk.
+	if resp, _ := http.Get(hs.URL + "/v1/jobs/job-00000003"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("shed job still fetchable: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-00000003.json")); !os.IsNotExist(err) {
+		t.Errorf("shed job still on disk: %v", err)
+	}
+
+	if v := srv.Registry().Counter("service.admission.shed").Value(); v != 1 {
+		t.Errorf("service.admission.shed = %v, want 1", v)
+	}
+	if v := srv.Registry().Counter("service.admission.admitted").Value(); v != 2 {
+		t.Errorf("service.admission.admitted = %v, want 2", v)
+	}
+
+	// The counters surface on the exposition endpoint.
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"service_admission_shed_total 1", "service_admission_admitted_total 2", "service_queue_depth"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+}
+
+// TestQueueWaitAdmitsWhenSlotFrees proves a QueueWait-configured daemon holds
+// a submission at the door instead of shedding instantly, and admits it the
+// moment the queue drains.
+func TestQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1, QueueWait: 30 * time.Second}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		entered <- struct{}{}
+		<-release
+		return stubResult(), nil
+	})
+
+	if resp, data := submit(t, hs.URL, testPlanBody(0), false); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, data)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never reached the engine")
+	}
+	if resp, data := submit(t, hs.URL, testPlanBody(1), false); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d: %s", resp.StatusCode, data)
+	}
+
+	// The third submission blocks in admission; freeing the engine lets the
+	// worker drain the queue, which admits it within the QueueWait budget.
+	type result struct {
+		code int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, _, err := trySubmit(testPlanBody(2), hs.URL, false)
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		got <- result{code: resp.StatusCode}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("queued submission returned early: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("queued submission: %v", r.err)
+		}
+		// 202 if the snapshot catches it pending, 200 if the freed worker
+		// already finished it — both mean admitted, not shed.
+		if r.code != http.StatusAccepted && r.code != http.StatusOK {
+			t.Fatalf("queued submission: status %d, want 202 or 200", r.code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued submission never admitted")
+	}
+	if v := srv.Registry().Counter("service.admission.shed").Value(); v != 0 {
+		t.Errorf("service.admission.shed = %v, want 0", v)
+	}
+}
+
+// TestDrainingRetryAfter proves a draining daemon's 503 carries Retry-After
+// so clients back off toward its replacement.
+func TestDrainingRetryAfter(t *testing.T) {
+	srv, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		return stubResult(), nil
+	})
+	srv.mu.Lock()
+	srv.closed = true
+	srv.mu.Unlock()
+	resp, data := submit(t, hs.URL, testPlanBody(0), false)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	srv.mu.Lock()
+	srv.closed = false
+	srv.mu.Unlock()
+}
+
+// TestDeadlinePropagation pins the deadline header contract: malformed
+// values reject with 400 before a job exists, a deadline that lapses while
+// the job queues fails typed as 504 without running the engine, and a live
+// deadline bounds the engine context.
+func TestDeadlinePropagation(t *testing.T) {
+	t.Run("malformed", func(t *testing.T) {
+		_, hs := newTestServer(t, Config{}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+			return stubResult(), nil
+		})
+		for _, bad := range []string{"banana", "-5", "0", "1.5"} {
+			resp, data := submitWithDeadline(t, hs.URL, testPlanBody(0), bad, false)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("deadline %q: status %d, want 400: %s", bad, resp.StatusCode, data)
+				continue
+			}
+			if we := decodeWireError(t, data); !errors.Is(we, autopipe.ErrBadConfig) {
+				t.Errorf("deadline %q: error %v is not ErrBadConfig", bad, we)
+			}
+		}
+	})
+
+	t.Run("lapses in queue", func(t *testing.T) {
+		entered := make(chan struct{}, 4)
+		release := make(chan struct{})
+		var engineRuns atomic.Int64
+		srv, hs := newTestServer(t, Config{Workers: 1}, func(_ context.Context, req client.SubmitRequest) (json.RawMessage, error) {
+			if req.Plan.Run.GlobalBatch == testPlanBody(0).Plan.Run.GlobalBatch {
+				entered <- struct{}{}
+				<-release
+			} else {
+				engineRuns.Add(1)
+			}
+			return stubResult(), nil
+		})
+
+		// Occupy the only worker, then queue a job whose 1ms budget lapses
+		// while it waits.
+		if resp, data := submit(t, hs.URL, testPlanBody(0), false); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("blocker submit: status %d: %s", resp.StatusCode, data)
+		}
+		select {
+		case <-entered:
+		case <-time.After(10 * time.Second):
+			t.Fatal("blocker never reached the engine")
+		}
+		type result struct {
+			code int
+			data []byte
+			err  error
+		}
+		got := make(chan result, 1)
+		go func() {
+			body, err := json.Marshal(testPlanBody(1))
+			if err != nil {
+				got <- result{err: err}
+				return
+			}
+			hreq, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/jobs?wait=1", bytes.NewReader(body))
+			if err != nil {
+				got <- result{err: err}
+				return
+			}
+			hreq.Header.Set("Content-Type", "application/json")
+			hreq.Header.Set(client.DeadlineHeader, "1")
+			resp, err := http.DefaultClient.Do(hreq)
+			if err != nil {
+				got <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			got <- result{code: resp.StatusCode, data: data, err: err}
+		}()
+		time.Sleep(50 * time.Millisecond) // let the 1ms budget lapse while queued
+		close(release)
+		r := <-got
+		if r.err != nil {
+			t.Fatalf("deadlined submit: %v", r.err)
+		}
+		if r.code != http.StatusGatewayTimeout {
+			t.Fatalf("deadlined submit: status %d, want 504: %s", r.code, r.data)
+		}
+		var doc struct {
+			Error *client.Error `json:"error"`
+		}
+		if err := json.Unmarshal(r.data, &doc); err != nil || doc.Error == nil {
+			t.Fatalf("response is not an error envelope: %s", r.data)
+		}
+		if !errors.Is(doc.Error, context.DeadlineExceeded) {
+			t.Errorf("error %v is not DeadlineExceeded", doc.Error)
+		}
+		if n := engineRuns.Load(); n != 0 {
+			t.Errorf("engine ran %d times for a lapsed-deadline job, want 0", n)
+		}
+		if v := srv.Registry().Counter("service.deadline.expired").Value(); v != 1 {
+			t.Errorf("service.deadline.expired = %v, want 1", v)
+		}
+	})
+
+	t.Run("bounds engine context", func(t *testing.T) {
+		_, hs := newTestServer(t, Config{}, func(ctx context.Context, _ client.SubmitRequest) (json.RawMessage, error) {
+			<-ctx.Done() // only a propagated deadline can release this
+			return nil, ctx.Err()
+		})
+		resp, data := submitWithDeadline(t, hs.URL, testPlanBody(0), "250", true)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504: %s", resp.StatusCode, data)
+		}
+		if we := decodeWireError(t, data); !errors.Is(we, context.DeadlineExceeded) {
+			t.Errorf("error %v is not DeadlineExceeded", we)
+		}
+	})
+}
+
+// TestBootWithDamagedStore proves the truncated-store-file boot: a daemon
+// restarted over a store holding one intact finished job and two damaged
+// files quarantines the damage, still re-seeds the cache from the intact
+// result, and reports the quarantine count on its registry.
+func TestBootWithDamagedStore(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv1.engine = func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		return stubResult(), nil
+	}
+	srv1.Start()
+	hs1 := httptest.NewServer(srv1.Handler())
+	if resp, data := submit(t, hs1.URL, testPlanBody(0), true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	hs1.Close()
+	srv1.Close()
+
+	// Crash damage: truncate a copy of the good document mid-file and drop a
+	// torn .tmp next to it.
+	good, err := os.ReadFile(filepath.Join(dir, "job-00000001.json"))
+	if err != nil {
+		t.Fatalf("read stored job: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-00000002.json"), good[:len(good)/2], 0o644); err != nil {
+		t.Fatalf("write truncated file: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-00000003.json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatalf("write torn tmp: %v", err)
+	}
+
+	var searches atomic.Int64
+	srv2, hs2 := newTestServer(t, Config{StoreDir: dir}, func(context.Context, client.SubmitRequest) (json.RawMessage, error) {
+		searches.Add(1)
+		return stubResult(), nil
+	})
+	if v := srv2.Registry().Counter("service.store.quarantined").Value(); v != 2 {
+		t.Errorf("service.store.quarantined = %v, want 2", v)
+	}
+	resp, data := submit(t, hs2.URL, testPlanBody(0), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-boot submit: status %d: %s", resp.StatusCode, data)
+	}
+	var hit client.Job
+	if err := json.Unmarshal(data, &hit); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Errorf("intact result did not re-seed the cache after a damaged boot")
+	}
+	if searches.Load() != 0 {
+		t.Errorf("engine ran %d times, want 0 (cache should have served)", searches.Load())
 	}
 }
 

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"autopipe/internal/errdefs"
+)
+
+// TestSoak runs the crash-recovery harness at small scale: 2 kill/restart
+// cycles over 4 real plan jobs. It is the in-tree acceptance test for
+// exactly-once completion, cache re-seeding, and store quarantine under
+// repeated daemon death.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine searches under kill/restart in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var progress strings.Builder
+	rep, err := Soak(ctx, SoakOptions{
+		StoreDir: t.TempDir(),
+		Cycles:   2,
+		Jobs:     4,
+		Progress: &progress,
+	})
+	if err != nil {
+		t.Fatalf("Soak: %v\n%s", err, progress.String())
+	}
+	if rep.Completed != rep.Jobs {
+		t.Errorf("completed %d/%d jobs", rep.Completed, rep.Jobs)
+	}
+	if rep.DuplicateSearches != 0 {
+		t.Errorf("%d duplicate searches — exactly-once violated", rep.DuplicateSearches)
+	}
+	if rep.Injected != 2*rep.Cycles {
+		t.Errorf("planted %d damaged files, want %d", rep.Injected, 2*rep.Cycles)
+	}
+	if rep.Quarantined < rep.Injected {
+		t.Errorf("quarantined %d, want at least the %d planted damaged files", rep.Quarantined, rep.Injected)
+	}
+}
+
+// TestSoakWithChaos layers seeded chaos on top of the kill/restart cycle:
+// the client must ride out injected 503s and latency as well as real
+// crashes, with the same invariants holding.
+func TestSoakWithChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine searches under kill/restart in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	plan := &ChaosPlan{Seed: 42, Chaos: []ChaosRule{
+		{Kind: ChaosLatency, LatencyMs: 2, Prob: 0.2},
+		{Kind: ChaosError, Prob: 0.1},
+	}}
+	var progress strings.Builder
+	rep, err := Soak(ctx, SoakOptions{
+		StoreDir: t.TempDir(),
+		Cycles:   2,
+		Jobs:     4,
+		Chaos:    plan,
+		Progress: &progress,
+	})
+	if err != nil {
+		t.Fatalf("Soak with chaos: %v\n%s", err, progress.String())
+	}
+	if rep.Completed != rep.Jobs {
+		t.Errorf("completed %d/%d jobs under chaos", rep.Completed, rep.Jobs)
+	}
+	if rep.DuplicateSearches != 0 {
+		t.Errorf("%d duplicate searches under chaos", rep.DuplicateSearches)
+	}
+}
+
+// TestSoakRequiresStore pins the config contract: no store, no soak.
+func TestSoakRequiresStore(t *testing.T) {
+	if _, err := Soak(context.Background(), SoakOptions{}); !errors.Is(err, errdefs.ErrBadConfig) {
+		t.Errorf("Soak without store = %v, want ErrBadConfig", err)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"strings"
 
 	"autopipe/client"
-	"autopipe/internal/errdefs"
 )
 
 // storedJob is the on-disk form of a job: the wire document plus the
@@ -59,37 +58,83 @@ func (s *diskStore) Put(j *client.Job, req client.SubmitRequest) error {
 	return nil
 }
 
-// Load reads every persisted job, sorted by ID (IDs are zero-padded
-// sequence numbers, so lexical order is submission order). Unparsable files
-// fail the load: a corrupted store should stop the daemon at startup, not
-// silently drop jobs. Safe to call on a nil store (returns nothing).
-func (s *diskStore) Load() ([]storedJob, error) {
+// Delete removes a job's document (used when an admitted-then-shed job must
+// not resurrect on the next restart). Missing files are fine; safe on a nil
+// store.
+func (s *diskStore) Delete(id string) error {
 	if s == nil {
-		return nil, nil
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.dir, id+".json")); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: delete stored job %s: %w", id, err)
+	}
+	return nil
+}
+
+// Load reads every persisted job, sorted by ID (IDs are zero-padded
+// sequence numbers, so lexical order is submission order).
+//
+// Damaged files — a tail truncated by a crash mid-write on a filesystem
+// without atomic rename durability, a torn document, a stray .tmp from an
+// interrupted atomic write — do not stop the boot and do not silently
+// vanish: each is quarantined in place by renaming it to <name>.corrupt and
+// reported in the second return value, so every intact job (in particular
+// every finished result) still loads and the operator can inspect the
+// damage. Safe to call on a nil store (returns nothing).
+func (s *diskStore) Load() ([]storedJob, []string, error) {
+	if s == nil {
+		return nil, nil, nil
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("service: read store: %w", err)
+		return nil, nil, fmt.Errorf("service: read store: %w", err)
 	}
 	var jobs []storedJob
+	var quarantined []string
+	quarantine := func(name string) error {
+		from := filepath.Join(s.dir, name)
+		if err := os.Rename(from, from+".corrupt"); err != nil {
+			return fmt.Errorf("service: quarantine %s: %w", name, err)
+		}
+		quarantined = append(quarantined, name)
+		return nil
+	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+		if e.IsDir() || strings.HasSuffix(name, ".corrupt") {
+			continue
+		}
+		// A leftover .tmp is a torn atomic write: the rename never happened,
+		// so the final file (if any) still holds the previous good document.
+		// Quarantine the fragment rather than guessing at its completeness.
+		if strings.HasSuffix(name, ".tmp") {
+			if err := quarantine(name); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("service: read stored job %s: %w", name, err)
+			return nil, nil, fmt.Errorf("service: read stored job %s: %w", name, err)
 		}
 		var sj storedJob
 		if err := json.Unmarshal(data, &sj); err != nil {
-			return nil, fmt.Errorf("%w: service: corrupt stored job %s: %v", errdefs.ErrBadConfig, name, err)
+			if err := quarantine(name); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		if sj.Job == nil || sj.Job.ID == "" {
-			return nil, fmt.Errorf("%w: service: stored job %s has no job document", errdefs.ErrBadConfig, name)
+			if err := quarantine(name); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		jobs = append(jobs, sj)
 	}
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Job.ID < jobs[k].Job.ID })
-	return jobs, nil
+	return jobs, quarantined, nil
 }

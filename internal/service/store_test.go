@@ -3,14 +3,12 @@ package service
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"autopipe/client"
-	"autopipe/internal/errdefs"
 )
 
 // TestStoreRoundTrip proves jobs persist and reload in submission order, and
@@ -33,9 +31,12 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatalf("Put rewrite: %v", err)
 	}
 
-	jobs, err := st.Load()
+	jobs, quarantined, err := st.Load()
 	if err != nil {
 		t.Fatalf("Load: %v", err)
+	}
+	if len(quarantined) != 0 {
+		t.Errorf("quarantined %v from a healthy store", quarantined)
 	}
 	if len(jobs) != 2 {
 		t.Fatalf("loaded %d jobs, want 2", len(jobs))
@@ -65,34 +66,72 @@ func TestStoreNil(t *testing.T) {
 	if err := st.Put(&client.Job{ID: "job-00000001"}, client.SubmitRequest{}); err != nil {
 		t.Errorf("nil Put: %v", err)
 	}
-	jobs, err := st.Load()
-	if err != nil || jobs != nil {
-		t.Errorf("nil Load = %v, %v; want nil, nil", jobs, err)
+	jobs, quarantined, err := st.Load()
+	if err != nil || jobs != nil || quarantined != nil {
+		t.Errorf("nil Load = %v, %v, %v; want nil, nil, nil", jobs, quarantined, err)
 	}
 	if st2, err := openStore(""); st2 != nil || err != nil {
 		t.Errorf("openStore(\"\") = %v, %v; want nil, nil", st2, err)
 	}
 }
 
-// TestStoreCorrupt proves a corrupted store fails the load loudly instead of
-// silently dropping jobs.
-func TestStoreCorrupt(t *testing.T) {
+// TestStoreQuarantinesCorruptFiles proves damaged documents — a tail
+// truncated mid-write, plain garbage, a parsable-but-empty document — are
+// quarantined as .corrupt instead of failing the boot, while every intact
+// job still loads. A second Load must skip the quarantined files entirely.
+func TestStoreQuarantinesCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
 	st, err := openStore(dir)
 	if err != nil {
 		t.Fatalf("openStore: %v", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "job-00000001.json"), []byte("{not json"), 0o644); err != nil {
-		t.Fatalf("write corrupt file: %v", err)
+	if err := st.Put(&client.Job{ID: jobID(1), Kind: client.KindPlan, State: client.StateDone, Result: stubResult()}, testPlanBody(0)); err != nil {
+		t.Fatalf("Put: %v", err)
 	}
-	if _, err := st.Load(); !errors.Is(err, errdefs.ErrBadConfig) {
-		t.Errorf("Load over corrupt store = %v, want ErrBadConfig", err)
+	// Truncate a real document mid-write: take a valid file and cut it in half.
+	good, err := os.ReadFile(filepath.Join(dir, jobID(1)+".json"))
+	if err != nil {
+		t.Fatalf("read good doc: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobID(2)+".json"), good[:len(good)/2], 0o644); err != nil {
+		t.Fatalf("write truncated file: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobID(3)+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("write garbage file: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobID(4)+".json"), []byte("{}"), 0o644); err != nil {
+		t.Fatalf("write empty doc: %v", err)
+	}
+
+	jobs, quarantined, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].Job.ID != jobID(1) {
+		t.Fatalf("loaded %d jobs (%v), want just the intact %s", len(jobs), jobs, jobID(1))
+	}
+	if len(quarantined) != 3 {
+		t.Errorf("quarantined %v, want 3 damaged files", quarantined)
+	}
+	for _, n := range []int{2, 3, 4} {
+		if _, err := os.Stat(filepath.Join(dir, jobID(n)+".json.corrupt")); err != nil {
+			t.Errorf("damaged %s not renamed to .corrupt: %v", jobID(n), err)
+		}
+	}
+
+	// A reboot after quarantine must not re-quarantine or resurrect anything.
+	jobs, quarantined, err = st.Load()
+	if err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+	if len(jobs) != 1 || len(quarantined) != 0 {
+		t.Errorf("second Load = %d jobs, quarantined %v; want 1 job, none quarantined", len(jobs), quarantined)
 	}
 }
 
-// TestStoreIgnoresTempFiles proves interrupted atomic writes (stray .tmp
-// files) do not break the reload.
-func TestStoreIgnoresTempFiles(t *testing.T) {
+// TestStoreQuarantinesTempFiles proves interrupted atomic writes (stray .tmp
+// files) are quarantined without breaking the reload of intact jobs.
+func TestStoreQuarantinesTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	st, err := openStore(dir)
 	if err != nil {
@@ -104,12 +143,45 @@ func TestStoreIgnoresTempFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "job-00000002.json.tmp"), []byte("torn"), 0o644); err != nil {
 		t.Fatalf("write temp file: %v", err)
 	}
-	jobs, err := st.Load()
+	jobs, quarantined, err := st.Load()
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	if len(jobs) != 1 {
-		t.Errorf("loaded %d jobs, want 1 (the .tmp file must be skipped)", len(jobs))
+		t.Errorf("loaded %d jobs, want 1 (the .tmp file must not load)", len(jobs))
+	}
+	if len(quarantined) != 1 || quarantined[0] != "job-00000002.json.tmp" {
+		t.Errorf("quarantined %v, want the torn .tmp", quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-00000002.json.tmp.corrupt")); err != nil {
+		t.Errorf("torn .tmp not renamed to .corrupt: %v", err)
+	}
+}
+
+// TestStoreDelete proves Delete removes the document, tolerates missing
+// files, and is safe on a nil store.
+func TestStoreDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openStore(dir)
+	if err != nil {
+		t.Fatalf("openStore: %v", err)
+	}
+	if err := st.Put(&client.Job{ID: jobID(1), Kind: client.KindPlan, State: client.StatePending}, testPlanBody(0)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := st.Delete(jobID(1)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	jobs, _, err := st.Load()
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("Load after Delete = %d jobs, %v; want empty", len(jobs), err)
+	}
+	if err := st.Delete(jobID(1)); err != nil {
+		t.Errorf("Delete of missing job: %v", err)
+	}
+	var nilStore *diskStore
+	if err := nilStore.Delete(jobID(1)); err != nil {
+		t.Errorf("nil Delete: %v", err)
 	}
 }
 

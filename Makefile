@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke soak-smoke chaos-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint lint-waivers sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke soak-smoke chaos-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -14,14 +14,23 @@ vet:
 	$(GO) vet ./...
 
 # lint builds autopipelint and runs it twice: as a go vet -vettool over every
-# package (simclock, errsentinel, ctxspawn, locksafe, unitsafe — the
-# determinism, error, concurrency, and dimensional invariants, DESIGN.md
-# §11), and in -testdata mode (scheddata) over the checked-in schedule
-# goldens, partition plans, and fault plans.
+# package (simclock, errsentinel, ctxspawn, locksafe, unitsafe, and the
+# interprocedural hotalloc — the determinism, error, concurrency,
+# dimensional, and hot-path allocation invariants, DESIGN.md §11), and in
+# -testdata mode (scheddata) over the checked-in schedule goldens, partition
+# plans, and fault plans. Unused //lint:allow waivers fail the run.
 lint:
 	$(GO) build -o bin/autopipelint ./cmd/autopipelint
 	$(GO) vet -vettool=$(abspath bin/autopipelint) ./...
 	./bin/autopipelint -testdata ./testdata ./internal/exec/testdata ./internal/fault/testdata ./internal/train/testdata ./internal/schedule/testdata ./BENCH_baseline.json ./BENCH_service.json
+
+# lint-waivers lists every live //lint:allow suppression (file:line, analyzer,
+# justification) outside fixture trees — the repository's complete waiver
+# budget in one listing, for review. Stale waivers are caught by `make lint`
+# itself: an //lint:allow that suppresses nothing is a reported finding.
+lint-waivers:
+	$(GO) build -o bin/autopipelint ./cmd/autopipelint
+	./bin/autopipelint -waivers ./internal ./cmd
 
 # sanitize executes the README quickstart schedules with the runtime
 # happens-before sanitizer on: every op is checked against the dependency

@@ -3,17 +3,25 @@
 //
 //	go vet -vettool=$(pwd)/bin/autopipelint ./...
 //
-// drives the five Go analyzers (simclock, errsentinel, ctxspawn, and the
-// flow-sensitive locksafe and unitsafe) over every compilation unit via the
-// go command's vettool protocol: autopipelint
-// answers the -V=full version handshake and the -flags enumeration, then is
-// invoked once per package with a *.cfg unit description.
+// drives the six Go analyzers (simclock, errsentinel, ctxspawn, the
+// flow-sensitive locksafe and unitsafe, and the interprocedural hotalloc)
+// over every compilation unit via the go command's vettool protocol:
+// autopipelint answers the -V=full version handshake and the -flags
+// enumeration, then is invoked once per package with a *.cfg unit
+// description.
 //
 //	bin/autopipelint -testdata ./testdata ./internal/exec/testdata ...
 //
 // sweeps checked-in JSON testdata with the scheddata analyzer: schedules
 // must parse and be statically deadlock-free, fault plans and partition-plan
 // documents must validate.
+//
+//	bin/autopipelint -waivers ./internal ./cmd
+//
+// audits suppressions: it lists every live //lint:allow waiver with its
+// file:line, analyzer, and justification (fixture trees under testdata are
+// excluded). The listing is informational — make lint-waivers drives it —
+// so reviewers see the complete, current waiver budget in one place.
 //
 // Exit status is 1 when any finding is reported, so both modes gate CI.
 package main
@@ -23,13 +31,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"autopipe/internal/analysis"
 	"autopipe/internal/analysis/ctxspawn"
 	"autopipe/internal/analysis/errsentinel"
+	"autopipe/internal/analysis/hotalloc"
 	"autopipe/internal/analysis/locksafe"
 	"autopipe/internal/analysis/scheddata"
 	"autopipe/internal/analysis/simclock"
@@ -47,10 +60,12 @@ func run(args []string) int {
 		versionFlag  = fs.String("V", "", "print version and exit (go vet handshake)")
 		flagsFlag    = fs.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
 		testdataFlag = fs.Bool("testdata", false, "validate JSON testdata under the given paths instead of analyzing Go packages")
+		waiversFlag  = fs.Bool("waivers", false, "list every live //lint:allow waiver under the given paths and exit")
 		enabled      = map[string]*bool{
 			simclock.Analyzer.Name:    fs.Bool("simclock", true, simclock.Analyzer.Doc),
 			errsentinel.Analyzer.Name: fs.Bool("errsentinel", true, errsentinel.Analyzer.Doc),
 			ctxspawn.Analyzer.Name:    fs.Bool("ctxspawn", true, ctxspawn.Analyzer.Doc),
+			hotalloc.Analyzer.Name:    fs.Bool("hotalloc", true, hotalloc.Analyzer.Doc),
 			locksafe.Analyzer.Name:    fs.Bool("locksafe", true, locksafe.Analyzer.Doc),
 			unitsafe.Analyzer.Name:    fs.Bool("unitsafe", true, unitsafe.Analyzer.Doc),
 		}
@@ -66,6 +81,8 @@ func run(args []string) int {
 		return printFlags(os.Stdout)
 	case *testdataFlag:
 		return runTestdata(fs.Args())
+	case *waiversFlag:
+		return runWaivers(os.Stdout, fs.Args())
 	}
 
 	// Unit mode: exactly one *.cfg argument from the go command.
@@ -74,7 +91,7 @@ func run(args []string) int {
 		return 2
 	}
 	var analyzers []*analysis.Analyzer
-	for _, a := range []*analysis.Analyzer{simclock.Analyzer, errsentinel.Analyzer, ctxspawn.Analyzer, locksafe.Analyzer, unitsafe.Analyzer} {
+	for _, a := range []*analysis.Analyzer{simclock.Analyzer, errsentinel.Analyzer, ctxspawn.Analyzer, hotalloc.Analyzer, locksafe.Analyzer, unitsafe.Analyzer} {
 		if *enabled[a.Name] {
 			analyzers = append(analyzers, a)
 		}
@@ -128,6 +145,7 @@ func printFlags(w io.Writer) int {
 		{"simclock", true, simclock.Analyzer.Doc},
 		{"errsentinel", true, errsentinel.Analyzer.Doc},
 		{"ctxspawn", true, ctxspawn.Analyzer.Doc},
+		{"hotalloc", true, hotalloc.Analyzer.Doc},
 		{"locksafe", true, locksafe.Analyzer.Doc},
 		{"unitsafe", true, unitsafe.Analyzer.Doc},
 	}
@@ -151,6 +169,69 @@ func runTestdata(paths []string) int {
 		return 1
 	}
 	return report(diags)
+}
+
+// runWaivers walks the given roots (default ".") and lists every
+// //lint:allow waiver in non-testdata Go source: one "file:line: analyzer:
+// reason" line each, plus a total. Files are parsed, so only real waiver
+// comments count — prose that merely mentions the marker (docs, string
+// literals) does not. Unused waivers are the analyzers' job to reject
+// (RunAnalyzers reports them); this listing is how reviewers audit the ones
+// that remain live.
+func runWaivers(w io.Writer, roots []string) int {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	total := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					// Same matching as the analyzer framework's allowLines.
+					text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:allow") {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+					analyzer, reason, _ := strings.Cut(rest, " ")
+					if analyzer == "" {
+						continue
+					}
+					if reason = strings.TrimSpace(reason); reason == "" {
+						reason = "(no justification)"
+					}
+					pos := fset.Position(c.Pos())
+					fmt.Fprintf(w, "%s:%d: %s: %s\n", pos.Filename, pos.Line, analyzer, reason)
+					total++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autopipelint -waivers: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(w, "%d live waiver(s)\n", total)
+	return 0
 }
 
 func report(diags []analysis.Diagnostic) int {

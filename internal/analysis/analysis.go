@@ -71,6 +71,20 @@ func (d Diagnostic) String() string {
 // the preceding line waives it. A waiver that fires is marked used; waivers
 // that never fire are themselves reported by RunAnalyzers.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Waived(pos) {
+		return
+	}
+	p.report(Diagnostic{Pos: p.Fset.Position(pos), Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Waived reports whether a finding at pos would be suppressed by a
+// `//lint:allow` comment for this analyzer, and marks that waiver used. The
+// interprocedural analyzers call it while building function summaries: a
+// waived site must not taint its callers, because the waiver sanctions the
+// effect, not merely the one diagnostic. Since the waiver is consumed, a
+// comment that only shields a summary (and never a direct report) still
+// counts as live.
+func (p *Pass) Waived(pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	lines := p.allows[position.Filename]
 	for _, line := range []int{position.Line, position.Line - 1} {
@@ -79,10 +93,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 				p.used[position.Filename] = make(map[int]bool)
 			}
 			p.used[position.Filename][line] = true
-			return
+			return true
 		}
 	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	return false
 }
 
 // InTestFile reports whether the node lives in a _test.go file. The

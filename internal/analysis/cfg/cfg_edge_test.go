@@ -1,0 +1,156 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// findBlock returns the first live block whose node list satisfies pred.
+func findBlock(g *Graph, pred func(ast.Node) bool) *Block {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// A defer inside a loop body is an ordinary per-iteration node: it must land
+// in a live block on the loop's back-edge path, not be hoisted out of the
+// loop or start a new block of its own.
+func TestDeferInsideLoopBody(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		defer func() { s = 0 }()
+		s += i
+	}
+	return s
+}`, "f")
+	g := New(fn.Body)
+	deferBlk := findBlock(g, func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	if deferBlk == nil {
+		t.Fatalf("defer statement not recorded in any live block\n%s", g)
+	}
+	// The block holding the defer must reach the loop head again (directly
+	// or through the post statement) — i.e. sit inside the loop, so analyses
+	// see it once per iteration.
+	onBackPath := false
+	seen := map[*Block]bool{deferBlk: true}
+	work := []*Block{deferBlk}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if s.Index < deferBlk.Index && s.Live {
+				onBackPath = true
+			}
+			if !seen[s] && s.Index >= deferBlk.Index {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if !onBackPath {
+		t.Fatalf("defer block does not reach the loop head; defer was hoisted out of the loop\n%s", g)
+	}
+}
+
+// A select with a default clause branches to every comm clause plus the
+// default — three ways here — and every arm rejoins at select.done, because
+// default makes the select non-blocking.
+func TestSelectWithDefault(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	default:
+		return -1
+	}
+	return 0
+}`, "f")
+	g := New(fn.Body)
+	if got := len(g.Entry.Succs); got != 3 {
+		t.Fatalf("select with default should fan out 3 ways, got %d\n%s", got, g)
+	}
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" && b.Live {
+			cases++
+		}
+	}
+	if cases != 3 {
+		t.Fatalf("want 3 live select.case blocks (two comms + default), got %d\n%s", cases, g)
+	}
+}
+
+// continue with a label inside nested ranges must edge to the OUTER range
+// head — the frame whose label matches — skipping the innermost frame the
+// unlabeled form would target.
+func TestLabeledContinueAcrossNestedRanges(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(xs, ys []int) int {
+	s := 0
+outer:
+	for _, x := range xs {
+		for _, y := range ys {
+			if y == x {
+				continue outer
+			}
+			s += y
+		}
+		s += x
+	}
+	return s
+}`, "f")
+	g := New(fn.Body)
+
+	rangeHead := func(slice string) *Block {
+		return findBlock(g, func(n ast.Node) bool {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return false
+			}
+			id, ok := r.X.(*ast.Ident)
+			return ok && id.Name == slice
+		})
+	}
+	outerHead, innerHead := rangeHead("xs"), rangeHead("ys")
+	if outerHead == nil || innerHead == nil {
+		t.Fatalf("missing range head blocks\n%s", g)
+	}
+	contBlk := findBlock(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE
+	})
+	if contBlk == nil {
+		t.Fatalf("continue statement not recorded\n%s", g)
+	}
+	toOuter, toInner := false, false
+	for _, s := range contBlk.Succs {
+		if s == outerHead {
+			toOuter = true
+		}
+		if s == innerHead {
+			toInner = true
+		}
+	}
+	if !toOuter {
+		t.Fatalf("continue outer must edge to the outer range head\n%s", g)
+	}
+	if toInner {
+		t.Fatalf("continue outer must not edge to the inner range head\n%s", g)
+	}
+}

@@ -1,12 +1,24 @@
 // Package ctxspawn enforces cancellation discipline on the goroutines the
 // planner's parallel search (internal/core) and the training driver
-// (internal/train) spawn: every `go func` literal must be cancellable — it
+// (internal/train) spawn: every spawned function must be cancellable — it
 // either takes a context.Context, references one from its environment, or
 // references a `chan struct{}` done/abort channel. The plan-space search
 // fans out workers per wave and the pipeline executor runs one goroutine per
 // stage; a goroutine with no cancellation path outlives a failed or
 // abandoned run, keeps mutating shared schedule state, and turns a clean
 // fault-injection abort into a hang or a data race.
+//
+// v3 is interprocedural (DESIGN §11.9). Two v2 blind spots are closed:
+//
+//   - `go s.run()` / `go helper()` — goroutines spawned through a named
+//     function, method, or locally-bound function value were skipped
+//     entirely. The package call graph resolves them, and the callee's
+//     summary decides whether a cancellation signal is observed. Spawns the
+//     graph cannot resolve (interface methods, function-typed fields) remain
+//     unchecked — the documented residual.
+//   - a literal whose cancellation lives in a helper it calls
+//     (`go func(){ waitDone(ctx) }()` observed nothing to v2's body walk)
+//     now counts as cancellable through the helper's summary.
 //
 // Also flagged: sync.WaitGroup.Add called inside the spawned goroutine
 // itself. If the spawner reaches wg.Wait before the scheduler runs the new
@@ -24,6 +36,8 @@ import (
 	"strings"
 
 	"autopipe/internal/analysis"
+	"autopipe/internal/analysis/callgraph"
+	"autopipe/internal/analysis/summary"
 )
 
 // DefaultScope lists the packages whose goroutines must be cancellable.
@@ -45,28 +59,72 @@ func New(scope ...string) *analysis.Analyzer {
 		if !inScope(pass.Pkg.Path(), scope) {
 			return nil
 		}
+		var files []*ast.File
 		for _, file := range pass.Files {
-			if pass.InTestFile(file) {
-				continue
+			if !pass.InTestFile(file) {
+				files = append(files, file)
 			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		g := callgraph.Build(files, pass.Info)
+		sums := summary.Compute(g, pass.Info, summary.Options{Ignore: pass.Waived})
+		for _, file := range files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				gostmt, ok := n.(*ast.GoStmt)
 				if !ok {
 					return true
 				}
-				lit, ok := ast.Unparen(gostmt.Call.Fun).(*ast.FuncLit)
-				if !ok {
-					// `go method()` / `go pkg.F()`: cancellation lives in the
-					// callee; the callee's own body is checked where defined.
+				if lit, ok := ast.Unparen(gostmt.Call.Fun).(*ast.FuncLit); ok {
+					checkGoroutine(pass, g, sums, gostmt, lit)
 					return true
 				}
-				checkGoroutine(pass, gostmt, lit)
+				if node := g.FuncValue(gostmt.Call.Fun); node != nil {
+					checkNamedSpawn(pass, sums, gostmt, node)
+				}
+				// Unresolvable spawn targets (interface methods, function-typed
+				// fields) stay unchecked: the residual v3 documents.
 				return true
 			})
 		}
 		return nil
 	}
 	return a
+}
+
+// checkNamedSpawn handles `go s.run()` / `go helper()` / `go f()` spawns the
+// call graph resolves — the v2 false negative. The callee is cancellable when
+// a cancellation signal is passed at the spawn site or its summary observes
+// one (a ctx/done parameter, field, or package-level channel, possibly
+// through its own callees).
+func checkNamedSpawn(pass *analysis.Pass, sums map[*callgraph.Node]*summary.Info, gostmt *ast.GoStmt, node *callgraph.Node) {
+	cancellable := sums[node].Has(summary.ObservesCancel)
+	for _, arg := range gostmt.Call.Args {
+		if isCancelSignal(pass.Info.TypeOf(arg)) {
+			cancellable = true
+		}
+	}
+	// Add inside the spawned body races with the spawner's Wait exactly as it
+	// does in a literal; report it at the spawn that creates the race.
+	if body := node.Body(); body != nil {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != body {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isWaitGroupAdd(pass, call) {
+				pass.Reportf(gostmt.Pos(),
+					"spawned function %s calls sync.WaitGroup.Add inside the goroutine, racing with Wait; call Add in the spawner before the go statement",
+					node.Name())
+			}
+			return true
+		})
+	}
+	if !cancellable {
+		pass.Reportf(gostmt.Pos(),
+			"goroutine %s spawned in %s has no cancellation path: pass a context.Context or done channel, or observe one in the callee, so an aborted run can reclaim it",
+			node.Name(), pass.Pkg.Path())
+	}
 }
 
 func inScope(path string, scope []string) bool {
@@ -78,8 +136,13 @@ func inScope(path string, scope []string) bool {
 	return false
 }
 
-func checkGoroutine(pass *analysis.Pass, gostmt *ast.GoStmt, lit *ast.FuncLit) {
+func checkGoroutine(pass *analysis.Pass, g *callgraph.Graph, sums map[*callgraph.Node]*summary.Info, gostmt *ast.GoStmt, lit *ast.FuncLit) {
 	cancellable := false
+	// The summary covers parameters, captured signals, and — transitively —
+	// helpers the body calls that observe one.
+	if node := g.NodeOfLit(lit); node != nil && sums[node].Has(summary.ObservesCancel) {
+		cancellable = true
+	}
 	// A context.Context parameter (or done channel parameter) counts.
 	for _, field := range lit.Type.Params.List {
 		if t := pass.Info.TypeOf(field.Type); isCancelSignal(t) {

@@ -1,0 +1,52 @@
+package hotalloc
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "src", "hotalloc"), New([]string{"hotalloc"}))
+}
+
+func TestOutOfScope(t *testing.T) {
+	diags, err := analysistest.Load(t, filepath.Join("..", "testdata", "src", "hotalloc"), "hotalloc", New([]string{"autopipe/internal/core"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of scope nothing fires — including the fixture's own waiver, which
+	// an unscoped analyzer never consults.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unused waiver") {
+			t.Errorf("out-of-scope diagnostic: %s", d)
+		}
+	}
+}
+
+func TestHotListEntries(t *testing.T) {
+	// A hot-list entry can mark a function that carries no annotation, and a
+	// stale entry is itself a finding.
+	diags, err := analysistest.Load(t, filepath.Join("..", "testdata", "src", "hotalloc"), "hotalloc",
+		New([]string{"hotalloc"}, "hotalloc.coldPlain", "hotalloc.vanished"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCold, sawStale bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "in hot coldPlain") {
+			sawCold = true
+		}
+		if strings.Contains(d.Message, `hot-list entry "hotalloc.vanished" matches no function`) {
+			sawStale = true
+		}
+	}
+	if !sawCold {
+		t.Error("hot-list entry hotalloc.coldPlain produced no findings; list-based marking broken")
+	}
+	if !sawStale {
+		t.Error("stale hot-list entry not reported")
+	}
+}

@@ -12,6 +12,12 @@
 //   - holding a mutex across a channel send/receive, a select, or
 //     sync.WaitGroup.Wait — blocking with a lock held inverts the lock/wait
 //     order and deadlocks under contention;
+//   - calling a same-package helper whose summary says it may block
+//     (DESIGN §11.9) while the mutex is definitely held — v3's
+//     interprocedural tier; wrapping the channel receive in a method no
+//     longer hides it. Lock *acquisition* inside a callee is deliberately
+//     not treated as blocking: cross-function lock-ordering is out of scope,
+//     and flagging every locked helper would bury the real deadlocks;
 //   - mutex-by-value copies: a parameter, receiver, assignment, or call
 //     argument that copies a sync.Mutex/RWMutex (or a struct containing
 //     one), which silently forks the lock.
@@ -23,13 +29,16 @@
 package locksafe
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
 
 	"autopipe/internal/analysis"
+	"autopipe/internal/analysis/callgraph"
 	"autopipe/internal/analysis/cfg"
+	"autopipe/internal/analysis/summary"
 )
 
 // DefaultScope lists the packages whose locking is checked.
@@ -53,10 +62,18 @@ func New(scope ...string) *analysis.Analyzer {
 		if !inScope(pass.Pkg.Path(), scope) {
 			return nil
 		}
+		var files []*ast.File
 		for _, file := range pass.Files {
-			if pass.InTestFile(file) {
-				continue
+			if !pass.InTestFile(file) {
+				files = append(files, file)
 			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		cg := callgraph.Build(files, pass.Info)
+		sums := summary.Compute(cg, pass.Info, summary.Options{Ignore: pass.Waived})
+		for _, file := range files {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok {
@@ -66,12 +83,12 @@ func New(scope ...string) *analysis.Analyzer {
 				if fd.Body == nil {
 					continue
 				}
-				checkFunc(pass, fd.Body)
+				checkFunc(pass, fd.Body, cg, sums)
 				// Nested function literals run on their own stack (and often
 				// their own goroutine): analyze each as its own CFG.
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					if lit, ok := n.(*ast.FuncLit); ok {
-						checkFunc(pass, lit.Body)
+						checkFunc(pass, lit.Body, cg, sums)
 					}
 					return true
 				})
@@ -131,6 +148,10 @@ type problem struct {
 	reported map[token.Pos]map[string]bool
 	// funcEnd positions the fall-off-the-end report.
 	funcEnd token.Pos
+	// cg and sums are the package call graph and may-block summaries for the
+	// interprocedural blocking check.
+	cg   *callgraph.Graph
+	sums map[*callgraph.Node]*summary.Info
 }
 
 func (p *problem) Entry() fact { return fact{} }
@@ -229,6 +250,12 @@ func (p *problem) node(n ast.Node, out fact) {
 			}
 			if isBlockingCall(p.pass.Info, m) {
 				p.checkBlocking(m.Pos(), out, "sync.WaitGroup.Wait")
+			} else if callee := p.cg.CalleeOf(m); callee != nil {
+				if ci := p.sums[callee]; ci.Has(summary.MayBlock) {
+					w := ci.Witness[summary.MayBlock]
+					p.checkBlocking(m.Pos(), out,
+						fmt.Sprintf("call to %s, which may block (%s),", callee.Name(), w.Desc))
+				}
 			}
 		case *ast.SendStmt:
 			p.checkBlocking(m.Pos(), out, "channel send")
@@ -350,9 +377,9 @@ func (p *problem) reportOnce(pos token.Pos, format string, args ...any) {
 
 // checkFunc runs the lattice to fixpoint over one function body, then makes
 // one reporting pass with the stabilized entry facts.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, cg *callgraph.Graph, sums map[*callgraph.Node]*summary.Info) {
 	g := cfg.New(body)
-	p := &problem{pass: pass, g: g, reported: map[token.Pos]map[string]bool{}, funcEnd: body.Rbrace}
+	p := &problem{pass: pass, g: g, reported: map[token.Pos]map[string]bool{}, funcEnd: body.Rbrace, cg: cg, sums: sums}
 	facts := cfg.Solve[fact](g, p)
 	p.report = true
 	for _, b := range g.Blocks {

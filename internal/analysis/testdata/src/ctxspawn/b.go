@@ -1,0 +1,91 @@
+// Regression fixtures for the v2 → v3 upgrade. The intraprocedural v2
+// analyzer skipped every non-literal spawn (`go s.run()`, `go helper()`) with
+// an explicit "cancellation lives in the callee" comment — the false negative
+// this file pins: none of the `want` lines below produced any diagnostic
+// under v2. It also could not see cancellation observed by a helper called
+// from inside a literal, which made cancellable goroutines false-positive.
+package ctxspawn
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	n    int
+	done chan struct{}
+}
+
+// run has no cancellation path of any kind.
+func (w *worker) run() { w.n++ }
+
+// runDone selects on the receiver's done channel.
+func (w *worker) runDone() {
+	select {
+	case <-w.done:
+	default:
+		w.n++
+	}
+}
+
+// runCtx takes the context directly.
+func (w *worker) runCtx(ctx context.Context) {
+	<-ctx.Done()
+	w.n++
+}
+
+func spawnMethod(w *worker) {
+	go w.run() // want "no cancellation path"
+}
+
+func spawnOK(w *worker, ctx context.Context) {
+	go w.runDone()     // callee observes w.done: fine
+	go w.runCtx(ctx)   // ctx passed at the spawn site and observed: fine
+	go uncancellable() // want "goroutine uncancellable.*no cancellation path"
+}
+
+func uncancellable() {
+	for i := 0; i < 1000; i++ {
+	}
+}
+
+// waitLoop observes a package-level abort channel two calls deep.
+var abort = make(chan struct{})
+
+func waitInner() {
+	<-abort
+}
+
+func waitOuter() { waitInner() }
+
+func spawnTransitive() {
+	go waitOuter() // cancellation observed transitively: fine
+}
+
+// Bound function values resolve through the single-assignment binding.
+func spawnBound(ctx context.Context) {
+	f := func() { <-ctx.Done() }
+	go f() // fine: the bound literal captures ctx
+	g := func() { println("x") }
+	go g() // want "no cancellation path"
+}
+
+// A literal whose cancellation lives in a helper it calls: v2 reported this
+// as uncancellable (false positive); v3's summary clears it.
+func spawnViaHelper() {
+	go func() {
+		waitInner()
+	}()
+}
+
+// Add inside a *named* spawned function races with Wait exactly as in a
+// literal; v2 only caught the literal form.
+func addsInside(wg *sync.WaitGroup, done chan struct{}) {
+	wg.Add(1)
+	defer wg.Done()
+	<-done
+}
+
+func spawnAddsInside(wg *sync.WaitGroup, done chan struct{}) {
+	go addsInside(wg, done) // want "calls sync.WaitGroup.Add inside the goroutine"
+}

@@ -1,0 +1,110 @@
+// Package hotalloc is the fixture for the hot-path allocation analyzer: the
+// //hot marker, loop-body regions, derived hotness through the package call
+// graph, cold-exit pruning, the append rules, interface boxing, and the
+// waiver escape hatch.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type item struct{ k, v int }
+
+//hot:per-iteration allocation budget is zero
+func hotLoop(items []int) int {
+	total := 0
+	header := make([]byte, 8) // before the loop: not per-iteration
+	for i, v := range items {
+		m := map[int]int{i: v} // want "map literal allocates"
+		total += m[i] + len(header)
+		s := fmt.Sprintf("%d", v) // want "Sprintf allocates"
+		total += len(s)
+		p := &item{k: i} // want "&item composite literal escapes"
+		total += p.k
+		total += helperAlloc(v)
+		f := func() int { return v } // want "function literal allocates a closure"
+		total += f()
+		b := make([]int, v) // want "make allocates per iteration"
+		total += len(b)
+		if v < 0 {
+			// Cold exit: this block leaves the function, so its allocation
+			// is not a per-iteration cost.
+			return len(fmt.Sprint(total))
+		}
+	}
+	return total
+}
+
+// helperAlloc has no annotation: v2's intraprocedural suite had no way to
+// flag it, but it is reachable from hotLoop's loop body.
+func helperAlloc(v int) int {
+	buf := make([]int, v) // want "reachable from hot hotLoop.*make allocates"
+	return len(buf)
+}
+
+//hot:per-iteration allocation budget is zero
+func hotNoLoop(n int) []byte {
+	// No loops: the whole body is the hot region.
+	return make([]byte, n) // want "in hot hotNoLoop.*make allocates"
+}
+
+//hot:per-iteration allocation budget is zero
+func appends(dst, src []int) []int {
+	for _, v := range src {
+		dst = append(dst, v)       // in-place amortized growth: sanctioned
+		grown := append(dst, v)    // want "append escapes or grows"
+		fresh := []int{v}          // want "slice literal allocates"
+		local := make([]int, 0, 4) // want "make allocates per iteration"
+		local = append(local, v)   // want "append escapes or grows"
+		dst = append(dst, grown[0]+fresh[0]+local[0])
+	}
+	return dst
+}
+
+func sink(v any) bool { return v != nil }
+
+var errNeg = errors.New("negative")
+
+//hot:per-iteration allocation budget is zero
+func boxing(vals []int, e *item) int {
+	n := 0
+	for _, v := range vals {
+		if sink(v) { // want "argument v boxes into interface parameter"
+			n++
+		}
+		if sink(e) { // pointer-shaped: stored directly, no allocation
+			n++
+		}
+		if sink(errNeg) { // already an interface value: no conversion
+			n++
+		}
+		n += concat("a", "b")
+	}
+	return n
+}
+
+// concat is derived hot via the call in boxing's loop.
+func concat(a, b string) int {
+	return len(a + b) // want "string concatenation builds a new string"
+}
+
+//hot:per-iteration allocation budget is zero
+func waived(n int) []byte {
+	//lint:allow hotalloc one-shot trailer buffer, measured cold
+	return make([]byte, n)
+}
+
+// coldPlain is not hot and calls nothing hot: allocate freely. (The analyzer
+// tests also re-run this fixture with a hot-list entry naming coldPlain, under
+// which the per-iteration make below becomes a finding — no want comment here
+// because the annotation-driven run never marks it.)
+func coldPlain(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, 1)
+		row[0] = i * i
+		out = append(out, row[0])
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Regression fixtures for the v3 interprocedural blocking check: v2 flagged
+// a channel receive with the mutex held only when the receive was textually
+// inside the locked function — wrapping it in a one-line method made the
+// deadlock invisible. None of the `want` lines below produced any diagnostic
+// under v2.
+package locksafe
+
+import "sync"
+
+type pipe struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// drain blocks on a receive; pump on a send. Their own bodies hold no lock,
+// so v2 had nothing to say about them — and still doesn't, correctly.
+func (p *pipe) drain() int    { return <-p.ch }
+func (p *pipe) pump(v int)    { p.ch <- v }
+func (p *pipe) bump()         { p.n++ }
+func (p *pipe) viaDrain() int { return p.drain() }
+
+func (p *pipe) badDrain() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drain() // want "drain, which may block .channel receive., while holding p.mu"
+}
+
+func (p *pipe) badPump(v int) {
+	p.mu.Lock()
+	p.pump(v) // want "pump, which may block .channel send., while holding p.mu"
+	p.mu.Unlock()
+}
+
+// Two hops: viaDrain inherits drain's may-block fact.
+func (p *pipe) badViaDrain() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.viaDrain() // want "viaDrain, which may block .* while holding p.mu"
+}
+
+// A WaitGroup.Wait wrapped in a helper is caught the same way.
+func waitAll(wg *sync.WaitGroup) { wg.Wait() }
+
+func (p *pipe) badWait(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	waitAll(wg) // want "waitAll, which may block .sync.WaitGroup.Wait., while holding p.mu"
+}
+
+// Calling a non-blocking helper with the lock held stays clean: the summary
+// has no may-block fact for bump. (Lock acquisition inside a callee is not
+// "blocking" — see the package comment.)
+func (p *pipe) okHelper() {
+	p.mu.Lock()
+	p.bump()
+	p.mu.Unlock()
+}
+
+// No lock held at the call: blocking helpers are fine on their own.
+func (p *pipe) okDrain() int {
+	v := p.drain()
+	p.mu.Lock()
+	p.n += v
+	p.mu.Unlock()
+	return v
+}
+
+// A select with a default never blocks, so helpers built on it stay callable
+// under the lock.
+func (p *pipe) tryDrain() (int, bool) {
+	select {
+	case v := <-p.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *pipe) okTryDrain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.tryDrain(); ok {
+		p.n += v
+	}
+}

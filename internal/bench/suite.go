@@ -120,6 +120,38 @@ func DefaultSuite(ctx context.Context, parallelism int) []Benchmark {
 			},
 		},
 		{
+			// The same sanitized workload through a reused exec.Runner: the
+			// steady-state regeneration path (soak loops, experiment sweeps).
+			// After one warmup run every per-schedule cache is hot, and the
+			// loop's allocsPerOp is pinned at 0 in the baseline — the hotalloc
+			// analyzer's contract, enforced by measurement.
+			Name: "exec/1f1b_p8_m32_reuse",
+			Bench: func(b *testing.B, reg *obs.Registry) {
+				s, err := schedule.OneFOneB(8, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := execCfg(8)
+				cfg.Obs = reg
+				cfg.Sanitize = true
+				r := exec.NewRunner()
+				// Warmup: populate the validation, sanitizer, and scratch
+				// caches — and the registry's metric entries — so the
+				// measured iterations (CI runs -benchtime 1x) see only the
+				// steady state.
+				if _, err := r.Run(s, cfg); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(s, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
 			// Dependency-model construction plus the Kahn check: the cost every
 			// sanitized execution and every scheddata sweep pays per schedule.
 			Name: "schedule/depgraph_1f1b_p16_m64",

@@ -75,11 +75,11 @@ func runTasks(ctx context.Context, width, n int, task func(int)) {
 		}
 		return
 	}
-	idx := make(chan int)
+	idx := make(chan int) //lint:allow hotalloc per-wave worker pool, bounded by parallelism
 	var wg sync.WaitGroup
 	wg.Add(width)
 	for w := 0; w < width; w++ {
-		go func() {
+		go func() { //lint:allow hotalloc per-wave worker pool, bounded by parallelism
 			defer wg.Done()
 			for i := range idx {
 				if ctx.Err() == nil {
@@ -119,6 +119,7 @@ type simCache struct {
 
 func (c *simCache) eval(bl *model.Blocks, part partition.Partition, m int) (Candidate, error) {
 	key := cacheKey{part: part.Key(), micro: m}
+	//lint:allow hotalloc memoized: entry and key boxing amortize over every repeat evaluation
 	v, loaded := c.entries.LoadOrStore(key, new(cacheEntry))
 	e := v.(*cacheEntry)
 	if loaded {
@@ -126,7 +127,7 @@ func (c *simCache) eval(bl *model.Blocks, part partition.Partition, m int) (Cand
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() {
+	e.once.Do(func() { //lint:allow hotalloc once per distinct cache key
 		r, err := sim.SimulateProfile(part.Profile(bl, m))
 		if err != nil {
 			e.err = err
@@ -203,22 +204,48 @@ func lexLess(a, b []int) bool {
 	return len(a) < len(b)
 }
 
+// maxMasterMoves bounds masterMoves' output: two block moves, each with at
+// most one rebalanced variant. The fixed-size arrays in expansion are sized
+// by it so phase B evaluates into pre-existing slots without allocating.
+const maxMasterMoves = 4
+
 // expansion is the parallel-phase slot of one wave item: the step-2 adjusted
 // continuation (phase A) and the evaluated step-3 master moves (phase B).
 type expansion struct {
 	d    *depthState
 	item Candidate
 
-	// adj is the evaluated step-2 adjustment (nil when it left the partition
-	// unchanged); cur/master are the continuation point for step 3.
-	adj    *Candidate
-	cur    Candidate
-	master int
-	err    error
+	// adj is the evaluated step-2 adjustment (adjusted is false when it left
+	// the partition unchanged); cur/master are the continuation point for
+	// step 3.
+	adj      Candidate
+	adjusted bool
+	cur      Candidate
+	master   int
+	err      error
 
 	moves    []partition.Partition
-	moveCand []Candidate
-	moveErr  []error
+	moveCand [maxMasterMoves]Candidate
+	moveErr  [maxMasterMoves]error
+}
+
+// seedSlot, spec, and moveRef are the per-task slots of the three stored
+// worker tasks (seedTask, phaseATask, phaseBTask).
+type seedSlot struct {
+	cand Candidate
+	err  error
+}
+
+// spec is one speculative cache-warming evaluation.
+type spec struct {
+	part partition.Partition
+	m    int
+}
+
+// moveRef addresses one master-move evaluation: expansion x, move index j.
+type moveRef struct {
+	x *expansion
+	j int
 }
 
 // engine runs wave-synchronous searches over one block array.
@@ -236,12 +263,74 @@ type engine struct {
 	// cache, so results are identical with it on or off; it is disabled
 	// when there are no spare cores to run it on.
 	prefetch bool
+
+	// Wave-scratch arenas, truncated and refilled every wave so the search
+	// loop reuses their backing instead of reallocating per wave, and the
+	// current depth list the seed task indexes into.
+	ds        []*depthState
+	seedSlots []seedSlot
+	exps      []expansion
+	specs     []spec
+	refs      []moveRef
+	moveBuf   []partition.Partition
+
+	// The worker tasks, bound once at construction: handing runTasks a
+	// stored value instead of a per-wave closure keeps closure creation out
+	// of the wave loop.
+	taskSeed, taskAB, taskB func(int)
 }
 
 func newEngine(bl *model.Blocks, opts Options) *engine {
 	e := &engine{opts: opts, par: opts.parallelism(), bl: bl, weights: bl.Weights()}
 	e.prefetch = e.par > 1 && runtime.NumCPU() > 1
+	e.taskSeed = e.seedTask
+	e.taskAB = e.phaseATask
+	e.taskB = e.phaseBTask
 	return e
+}
+
+// seedTask evaluates depth e.ds[i]'s Algorithm 1 seed into e.seedSlots[i].
+// runTasks reaches it through the stored e.taskSeed binding, which the
+// static call graph cannot follow — hence its own hot annotation.
+//
+//hot:runs on the search worker pool
+func (e *engine) seedTask(i int) {
+	d := e.ds[i]
+	var part partition.Partition
+	var err error
+	if d.p == 1 {
+		// A single stage has no pipeline structure; simulate directly.
+		part, err = partition.New([]int{0, e.bl.Len()}, e.bl.Len()) //lint:allow hotalloc once per depth per search, not per wave
+		if err != nil {
+			e.seedSlots[i].err = err
+			return
+		}
+	} else if part, err = partition.Balance(e.weights, d.p); err != nil {
+		e.seedSlots[i].err = fmt.Errorf("core: seeding depth %d: %w", d.p, err)
+		return
+	}
+	e.seedSlots[i].cand, e.seedSlots[i].err = e.cache.eval(e.bl, part, d.m)
+}
+
+// phaseATask runs one phase-A slot: a cooldown adjustment for i < len(exps),
+// a speculative cache warm above that.
+//
+//hot:runs on the search worker pool
+func (e *engine) phaseATask(i int) {
+	if i < len(e.exps) {
+		e.expandA(&e.exps[i])
+		return
+	}
+	s := e.specs[i-len(e.exps)]
+	e.cache.eval(e.bl, s.part, s.m) //nolint:errcheck // cache-warming only
+}
+
+// phaseBTask evaluates one master-move candidate into its expansion slot.
+//
+//hot:runs on the search worker pool
+func (e *engine) phaseBTask(i int) {
+	r := e.refs[i]
+	r.x.moveCand[r.j], r.x.moveErr[r.j] = e.cache.eval(e.bl, r.x.moves[r.j], r.x.d.m)
 }
 
 // expandA runs the step-2 cooldown adjustment for one wave item (paper
@@ -256,15 +345,13 @@ func (e *engine) expandA(x *expansion) {
 			x.err = err
 			return
 		}
-		x.adj = &c
+		x.adj, x.adjusted = c, true
 		x.cur, x.master = c, c.Sim.Master
 	}
 	// Step 3 cannot move a master already at stage 0; generate the move
 	// candidates here (cheap and pure) so phase B is a flat evaluation list.
 	if x.master > 0 {
-		x.moves = masterMoves(e.bl, x.cur.Partition, x.master, e.weights)
-		x.moveCand = make([]Candidate, len(x.moves))
-		x.moveErr = make([]error, len(x.moves))
+		x.moves = masterMoves(e.bl, x.cur.Partition, x.master, e.weights, x.moves[:0])
 	}
 }
 
@@ -273,6 +360,8 @@ func (e *engine) expandA(x *expansion) {
 // that provably cannot win; onComplete (may be nil) fires in deterministic
 // order when a depth finishes searching, and typically updates the shared
 // bound prune reads.
+//
+//hot:the wave loop of every plan search
 func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthState) bool, onComplete func(*depthState)) error {
 	finish := func(d *depthState) {
 		d.done = true
@@ -287,44 +376,27 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 	// the simclock invariant (deterministic packages read no clock that can
 	// influence a decision) stays machine-checkable.
 	seedSW := obs.NewStopwatch()
-	type seedSlot struct {
-		cand Candidate
-		err  error
-	}
-	slots := make([]seedSlot, len(ds))
-	runTasks(ctx, e.par, len(ds), func(i int) {
-		d := ds[i]
-		var part partition.Partition
-		var err error
-		if d.p == 1 {
-			// A single stage has no pipeline structure; simulate directly.
-			part, err = partition.New([]int{0, e.bl.Len()}, e.bl.Len())
-		} else if part, err = partition.Balance(e.weights, d.p); err != nil {
-			err = fmt.Errorf("core: seeding depth %d: %w", d.p, err)
-		}
-		if err != nil {
-			slots[i].err = err
-			return
-		}
-		slots[i].cand, slots[i].err = e.cache.eval(e.bl, part, d.m)
-	})
+	e.ds = ds
+	e.seedSlots = make([]seedSlot, len(ds))
+	runTasks(ctx, e.par, len(ds), e.taskSeed)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	seedDur := seedSW.Elapsed()
 	for i, d := range ds {
 		d.tel.SeedTime = seedDur
-		if slots[i].err != nil {
-			d.err = slots[i].err
+		if e.seedSlots[i].err != nil {
+			d.err = e.seedSlots[i].err
 			d.done = true
 			continue
 		}
-		d.seed = slots[i].cand
+		d.seed = e.seedSlots[i].cand
 		d.record(d.seed)
 		if d.p == 1 {
 			finish(d)
 		} else {
-			d.wave = []Candidate{d.seed}
+			d.wave = d.wave[:0]
+			d.wave = append(d.wave, d.seed)
 		}
 	}
 
@@ -355,16 +427,16 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 				}
 			}
 		}
-		var exps []*expansion
+		e.exps = e.exps[:0]
 		for _, d := range ds {
 			if d.done {
 				continue
 			}
 			for _, item := range d.wave {
-				exps = append(exps, &expansion{d: d, item: item})
+				e.exps = append(e.exps, expansion{d: d, item: item})
 			}
 		}
-		if len(exps) == 0 {
+		if len(e.exps) == 0 {
 			return nil
 		}
 
@@ -374,28 +446,19 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 		// are phase B's exact evaluations, collapsing the round's critical
 		// path from two sequential simulations to one.
 		adjustSW := obs.NewStopwatch()
-		type spec struct {
-			part partition.Partition
-			m    int
-		}
-		var specs []spec
+		e.specs = e.specs[:0]
 		if e.prefetch {
-			for _, x := range exps {
+			for xi := range e.exps {
+				x := &e.exps[xi]
 				if i := x.item.Sim.Master; i > 0 {
-					for _, mv := range masterMoves(e.bl, x.item.Partition, i, e.weights) {
-						specs = append(specs, spec{mv, x.d.m})
+					e.moveBuf = masterMoves(e.bl, x.item.Partition, i, e.weights, e.moveBuf[:0])
+					for _, mv := range e.moveBuf {
+						e.specs = append(e.specs, spec{mv, x.d.m})
 					}
 				}
 			}
 		}
-		runTasks(ctx, e.par, len(exps)+len(specs), func(i int) {
-			if i < len(exps) {
-				e.expandA(exps[i])
-				return
-			}
-			s := specs[i-len(exps)]
-			e.cache.eval(e.bl, s.part, s.m) //nolint:errcheck // cache-warming only
-		})
+		runTasks(ctx, e.par, len(e.exps)+len(e.specs), e.taskAB)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -403,30 +466,25 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 
 		// Phase B: master-move evaluations, one task per candidate.
 		moveSW := obs.NewStopwatch()
-		type moveRef struct {
-			x *expansion
-			j int
-		}
-		var refs []moveRef
-		for _, x := range exps {
+		e.refs = e.refs[:0]
+		for xi := range e.exps {
+			x := &e.exps[xi]
 			if x.err != nil {
 				continue
 			}
 			for j := range x.moves {
-				refs = append(refs, moveRef{x, j})
+				e.refs = append(e.refs, moveRef{x, j})
 			}
 		}
-		runTasks(ctx, e.par, len(refs), func(i int) {
-			r := refs[i]
-			r.x.moveCand[r.j], r.x.moveErr[r.j] = e.cache.eval(e.bl, r.x.moves[r.j], r.x.d.m)
-		})
+		runTasks(ctx, e.par, len(e.refs), e.taskB)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		moveDur := moveSW.Elapsed()
 
 		// Merge: replay every expansion in wave order.
-		for _, x := range exps {
+		for xi := range e.exps {
+			x := &e.exps[xi]
 			d := x.d
 			if d.err != nil {
 				continue
@@ -435,13 +493,13 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 				d.err = x.err
 				continue
 			}
-			if x.adj != nil {
-				d.record(*x.adj)
+			if x.adjusted {
+				d.record(x.adj)
 			}
 			if x.master == 0 {
 				continue
 			}
-			for j, c := range x.moveCand {
+			for j, c := range x.moveCand[:len(x.moves)] {
 				if x.moveErr[j] != nil {
 					d.err = x.moveErr[j]
 					break
@@ -464,7 +522,9 @@ func (e *engine) run(ctx context.Context, ds []*depthState, prune func(*depthSta
 				d.done = true
 				continue
 			}
-			d.wave, d.next = d.next, nil
+			// Swap rather than discard: next inherits the drained wave's
+			// backing, so steady-state rounds append into reused capacity.
+			d.wave, d.next = d.next, d.wave[:0]
 			if len(d.wave) == 0 {
 				finish(d)
 			}

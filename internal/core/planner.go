@@ -154,9 +154,10 @@ func adjustAfterMaster(bl *model.Blocks, part partition.Partition, i int) (parti
 // masterMoves generates the paper's step-3 candidates: shift the master
 // stage forward by moving its first block to stage i-1 or its last block to
 // stage i+1, each with and without re-running Algorithm 1 on the prefix up
-// to and including the stage whose size changed.
-func masterMoves(bl *model.Blocks, part partition.Partition, i int, weights []float64) []partition.Partition {
-	var out []partition.Partition
+// to and including the stage whose size changed. Candidates — at most
+// maxMasterMoves — are appended to dst, so wave-loop callers can reuse a
+// buffer.
+func masterMoves(bl *model.Blocks, part partition.Partition, i int, weights []float64, out []partition.Partition) []partition.Partition {
 	p := part.Stages()
 
 	// Move the first block of stage i to stage i-1.

@@ -182,7 +182,7 @@ func TestMasterMovesRespectStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < 3; i++ {
-		for _, mv := range masterMoves(bl, part, i, bl.Weights()) {
+		for _, mv := range masterMoves(bl, part, i, bl.Weights(), nil) {
 			if mv.Stages() != part.Stages() {
 				t.Errorf("move changed depth: %v", mv.Bounds)
 			}

@@ -78,6 +78,33 @@ func BenchmarkRunInterleaved(b *testing.B) {
 	benchRun(b, s, benchCfg(p*v))
 }
 
+// BenchmarkRunReuse measures the steady-state Runner: working state retained
+// across iterations, sanitizer on (TestMain forces it), registry attached but
+// sinkless. One warmup run before the timer so even a single measured
+// iteration (-benchtime 1x, the CI compare configuration) sees the
+// steady state — which must be allocation-free; the suite pins it at 0
+// allocs/op in BENCH_baseline.json.
+func BenchmarkRunReuse(b *testing.B) {
+	p, m := 8, 32
+	s, err := schedule.OneFOneB(p, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(p)
+	cfg.Obs = obs.NewRegistry()
+	r := NewRunner()
+	if _, err := r.Run(s, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunObserved measures the executor with a metrics registry
 // attached (counters, gauges, and the run span) but no event sink — the
 // configuration autopipebench and the daemon run with, where emission must

@@ -159,201 +159,12 @@ type arrivalInfo struct {
 	ready, arrival float64
 }
 
-// Run executes s under cfg.
+// Run executes s under cfg with a fresh Runner — the one-shot entry point.
+// The returned Result is independently owned. Drivers that execute the same
+// schedule repeatedly should hold a Runner, whose reused state makes the
+// steady-state event loop allocation-free.
 func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if len(cfg.VirtFwd) != s.VirtStages || len(cfg.VirtBwd) != s.VirtStages {
-		return nil, fmt.Errorf("%w: exec: schedule has %d virtual stages, config has %d fwd / %d bwd times",
-			errdefs.ErrBadConfig, s.VirtStages, len(cfg.VirtFwd), len(cfg.VirtBwd))
-	}
-	if cfg.DeviceMap != nil && len(cfg.DeviceMap) != s.Devices {
-		return nil, fmt.Errorf("%w: exec: device map has %d entries, schedule has %d devices",
-			errdefs.ErrBadConfig, len(cfg.DeviceMap), s.Devices)
-	}
-	phys := func(d int) int {
-		if cfg.DeviceMap != nil {
-			return cfg.DeviceMap[d]
-		}
-		return d
-	}
-	var san *Sanitizer
-	if cfg.Sanitize || testSanitize {
-		var err error
-		if san, err = newSanitizer(s, cfg); err != nil {
-			return nil, err
-		}
-	}
-	var span *obs.Span
-	if cfg.Obs != nil {
-		span = cfg.Obs.StartSpan("exec.run")
-	}
-
-	rng := jitterStream{state: cfg.Seed*2862933555777941757 + 3037000493}
-	arrived := map[msgKey]arrivalInfo{}
-	// pendingHalf holds the compute end of a NoSend half, released by the
-	// sibling's aggregated send.
-	pendingHalf := map[msgKey]float64{}
-	linkFree := map[[2]int]float64{}
-	devFree := make([]float64, s.Devices)
-	next := make([]int, s.Devices)
-	res := &Result{Traces: make([][]OpTrace, s.Devices), Busy: make([]float64, s.Devices)}
-	res.Startup = math.NaN()
-
-	remaining := 0
-	for _, ops := range s.Ops {
-		remaining += len(ops)
-	}
-
-	transfer := func(m MsgTrace) (float64, error) {
-		if m.From == m.To {
-			m.Start, m.Free, m.Arrive = m.Ready, m.Ready, m.Ready
-			res.Msgs = append(res.Msgs, m)
-			if san != nil {
-				if err := san.checkMsg(m); err != nil {
-					return 0, err
-				}
-			}
-			return m.Ready, nil
-		}
-		key := [2]int{m.From, m.To}
-		m.Start = m.Ready
-		if linkFree[key] > m.Start {
-			m.Start = linkFree[key]
-		}
-		bw := cfg.Network.Bandwidth
-		if cfg.Faults != nil {
-			pf, pt := phys(m.From), phys(m.To)
-			abs := cfg.Start + m.Start
-			// A flapped link defers the message to the end of the flap; a
-			// permanent flap (no recovery window) is a dead link.
-			if until, blocked, permanent := cfg.Faults.LinkBlocked(pf, pt, abs); blocked {
-				if permanent {
-					return 0, &fault.LinkDownError{From: pf, To: pt, At: abs}
-				}
-				m.Start = until - cfg.Start
-				abs = until
-			}
-			// A dropped send surfaces as a retryable transient failure; the
-			// injector consumes the fault, so a re-executed iteration passes
-			// once the drop budget is spent.
-			if cfg.Faults.DropAttempt(pf, pt, abs, msgID(m)) {
-				return 0, &fault.TransientError{From: pf, To: pt, At: abs}
-			}
-			bw *= cfg.Faults.LinkFactor(pf, pt, abs)
-		}
-		m.Arrive = m.Start + cfg.Network.Latency + float64(m.Bytes)/bw
-		m.Free = m.Arrive - cfg.Network.Latency
-		linkFree[key] = m.Free
-		res.Msgs = append(res.Msgs, m)
-		if san != nil {
-			if err := san.checkMsg(m); err != nil {
-				return 0, err
-			}
-		}
-		return m.Arrive, nil
-	}
-
-	for remaining > 0 {
-		progressed := false
-		for d := 0; d < s.Devices; d++ {
-			for next[d] < len(s.Ops[d]) {
-				op := s.Ops[d][next[d]]
-				ready, input, hasInput := inputsReady(op, s, arrived)
-				if !ready {
-					break
-				}
-				start := devFree[d]
-				if hasInput && input.arrival > start {
-					start = input.arrival
-				}
-				start += cfg.KernelOverhead
-				dur := opDuration(op, cfg, &rng)
-				if cfg.Faults != nil {
-					pd, abs := phys(d), cfg.Start+start
-					if since, dead := cfg.Faults.Crashed(pd, abs); dead {
-						endSpan(span)
-						return nil, &fault.DeviceLostError{Device: pd, At: since}
-					}
-					if cfg.Faults.OOMAt(pd, abs) {
-						endSpan(span)
-						return nil, &fault.OOMError{Device: pd, At: abs}
-					}
-					dur *= cfg.Faults.ComputeScale(pd, abs)
-				}
-				end := start + dur
-				devFree[d] = end
-				res.Busy[d] += dur
-				tr := OpTrace{Op: op, Device: d, Start: start, End: end, InputReady: -1, InputArrive: -1}
-				if hasInput {
-					tr.InputReady, tr.InputArrive = input.ready, input.arrival
-				}
-				res.Traces[d] = append(res.Traces[d], tr)
-				if san != nil {
-					if err := san.checkOp(tr); err != nil {
-						endSpan(span)
-						return nil, err
-					}
-				}
-				if d == s.Devices-1 && math.IsNaN(res.Startup) {
-					res.Startup = start - cfg.KernelOverhead
-				}
-				if err := deliver(op, s, cfg, end, arrived, pendingHalf, transfer); err != nil {
-					endSpan(span)
-					return nil, err
-				}
-				next[d]++
-				remaining--
-				progressed = true
-			}
-		}
-		if !progressed {
-			return nil, fmt.Errorf("%w: exec: schedule %s deadlocked with %d ops remaining",
-				errdefs.ErrDeadlock, s.Name, remaining)
-		}
-	}
-
-	if san != nil {
-		if err := san.finish(); err != nil {
-			endSpan(span)
-			return nil, err
-		}
-	}
-	for _, traces := range res.Traces {
-		for _, tr := range traces {
-			if tr.End > res.IterTime {
-				res.IterTime = tr.End
-			}
-		}
-	}
-	if math.IsNaN(res.Startup) {
-		res.Startup = 0
-	}
-	if cfg.Obs != nil {
-		ops := 0
-		for _, traces := range res.Traces {
-			ops += len(traces)
-		}
-		var bytes int64
-		links := 0
-		for _, m := range res.Msgs {
-			if m.From != m.To {
-				bytes += m.Bytes
-				links++
-			}
-		}
-		cfg.Obs.Counter("exec.ops").Add(float64(ops))
-		cfg.Obs.Counter("exec.messages").Add(float64(links))
-		cfg.Obs.Counter("exec.bytes").Add(float64(bytes))
-		cfg.Obs.Gauge("exec.iter_time_s").Set(res.IterTime)
-		cfg.Obs.Gauge("exec.startup_s").Set(res.Startup)
-		span.End()
-	}
-	return res, nil
+	return NewRunner().Run(s, cfg)
 }
 
 // inputsReady reports whether op's cross-stage input (if any) has arrived,
@@ -390,59 +201,6 @@ func opDuration(op schedule.Op, cfg Config, rng *jitterStream) float64 {
 	return dur
 }
 
-// deliver schedules op's output transfer (if any) and deposits the arrival
-// times consumers wait on. A fault on the transfer (dropped message, dead
-// link) propagates as a typed error.
-func deliver(op schedule.Op, s *schedule.Schedule, cfg Config, end float64,
-	arrived map[msgKey]arrivalInfo, pendingHalf map[msgKey]float64, transfer func(MsgTrace) (float64, error)) error {
-
-	var destVirt int
-	switch {
-	case op.Kind == schedule.Fwd && op.Virt < s.VirtStages-1:
-		destVirt = op.Virt + 1
-	case op.Kind == schedule.Bwd && op.Virt > 0:
-		destVirt = op.Virt - 1
-	default:
-		return nil
-	}
-	from := s.DeviceOf[op.Virt]
-	to := s.DeviceOf[destVirt]
-	self := msgKey{op.Kind, op.Virt, op.Micro, op.Half}
-	msg := MsgTrace{Kind: op.Kind, Virt: op.Virt, Micro: op.Micro, Half: op.Half, From: from, To: to}
-
-	switch {
-	case op.NoSend:
-		// Payload parked until the sibling half's aggregated send.
-		pendingHalf[self] = end
-	case op.AggSend:
-		sibling := msgKey{op.Kind, op.Virt, op.Micro, (op.Half + 1) % 2}
-		ready := end
-		if t, ok := pendingHalf[sibling]; ok && t > ready {
-			ready = t
-		}
-		delete(pendingHalf, sibling)
-		msg.Bytes, msg.Ready = cfg.CommBytes, ready // both halves in one message
-		arrival, err := transfer(msg)
-		if err != nil {
-			return err
-		}
-		arrived[self] = arrivalInfo{ready, arrival}
-		arrived[sibling] = arrivalInfo{ready, arrival}
-	default:
-		bytes := cfg.CommBytes
-		if op.Half >= 0 {
-			bytes /= 2
-		}
-		msg.Bytes, msg.Ready = bytes, end
-		arrival, err := transfer(msg)
-		if err != nil {
-			return err
-		}
-		arrived[self] = arrivalInfo{end, arrival}
-	}
-	return nil
-}
-
 // msgID folds a message's identity (kind, virtual stage, micro-batch, half)
 // into the stable key probabilistic drop decisions hash on.
 func msgID(m MsgTrace) uint64 {
@@ -451,13 +209,6 @@ func msgID(m MsgTrace) uint64 {
 		k = 2
 	}
 	return k<<48 | uint64(m.Virt&0xFFFF)<<32 | uint64(m.Micro&0xFFFF)<<16 | uint64(m.Half+1)&0xFFFF
-}
-
-// endSpan closes a possibly-nil obs span on an error return path.
-func endSpan(s *obs.Span) {
-	if s != nil {
-		s.End()
-	}
 }
 
 // jitterStream is a splitmix64-style deterministic noise source in [0,1).

@@ -83,6 +83,23 @@ func newSanitizer(s *schedule.Schedule, cfg Config) (*Sanitizer, error) {
 	}, nil
 }
 
+// reset returns the checker to its pre-run state for another execution of
+// the same schedule: the dependency graph and state arrays are reused, only
+// cleared. cfg carries the (possibly different) timing model of the new run.
+func (z *Sanitizer) reset(cfg Config) {
+	z.net = cfg.Network
+	z.overhead = cfg.KernelOverhead
+	z.fwd, z.bwd = cfg.VirtFwd, cfg.VirtBwd
+	z.faulty = cfg.Faults != nil
+	clear(z.seen)
+	clear(z.doneAt)
+	clear(z.nextIdx)
+	clear(z.lastEnd)
+	clear(z.linkFree)
+	clear(z.credit)
+	z.executed = 0
+}
+
 // timeLess reports a < b beyond floating-point tolerance (absolute plus
 // relative, so second-scale and nanosecond-scale clocks both compare sanely).
 func timeLess(a, b sim.Time) bool {
@@ -201,34 +218,40 @@ func (z *Sanitizer) checkOp(tr OpTrace) error {
 	return nil
 }
 
+// msgName renders a transfer's identity for violation messages. It is called
+// only on violation paths, so the clean-trace fast path (every message of
+// every sanitized execution) formats nothing.
+func msgName(m MsgTrace) string {
+	return fmt.Sprintf("%v message virt %d micro %d half %d (%d->%d)", m.Kind, m.Virt, m.Micro, m.Half, m.From, m.To)
+}
+
 // checkMsg validates one recorded transfer: payload readiness, per-direction
 // (full-duplex) link serialization, the latency floor, and — outside fault
 // plans — the bandwidth capacity floor.
 func (z *Sanitizer) checkMsg(m MsgTrace) error {
-	name := fmt.Sprintf("%v message virt %d micro %d half %d (%d->%d)", m.Kind, m.Virt, m.Micro, m.Half, m.From, m.To)
 	ready, start, free, arrive := sim.Time(m.Ready), sim.Time(m.Start), sim.Time(m.Free), sim.Time(m.Arrive)
 	if timeLess(arrive, ready) {
-		return z.violation("%s arrives at %g before its payload is ready at %g", name, m.Arrive, m.Ready)
+		return z.violation("%s arrives at %g before its payload is ready at %g", msgName(m), m.Arrive, m.Ready)
 	}
 	if m.From == m.To {
 		return nil // same-device hop occupies no link
 	}
 	if timeLess(start, ready) {
-		return z.violation("%s entered the link at %g before its payload was ready at %g", name, m.Start, m.Ready)
+		return z.violation("%s entered the link at %g before its payload was ready at %g", msgName(m), m.Start, m.Ready)
 	}
 	key := [2]int{m.From, m.To}
 	if timeLess(start, z.linkFree[key]) {
 		return z.violation("link %d->%d overlap: %s starts at %g while the link serializes until %g",
-			m.From, m.To, name, m.Start, z.linkFree[key].Seconds())
+			m.From, m.To, msgName(m), m.Start, z.linkFree[key].Seconds())
 	}
 	if timeLess(arrive-free, sim.Time(z.net.Latency)) {
-		return z.violation("%s beat the %g s latency floor (free %g, arrive %g)", name, z.net.Latency, m.Free, m.Arrive)
+		return z.violation("%s beat the %g s latency floor (free %g, arrive %g)", msgName(m), z.net.Latency, m.Free, m.Arrive)
 	}
 	if !z.faulty && z.net.Bandwidth > 0 {
 		floor := sim.Time(float64(sim.Bytes(m.Bytes).Int64()) / z.net.Bandwidth)
 		if timeLess(free-start, floor) {
 			return z.violation("%s serialized %d bytes in %g s, below the %g s capacity floor",
-				name, m.Bytes, m.Free-m.Start, floor.Seconds())
+				msgName(m), m.Bytes, m.Free-m.Start, floor.Seconds())
 		}
 	}
 	if z.linkFree[key] < free {

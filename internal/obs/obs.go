@@ -257,6 +257,8 @@ func (r *Registry) HasSink() bool { return r.hasSink.Load() }
 // Emit sends a structured event to the sink, if one is installed. Fields are
 // shallow-copied so callers may reuse their map. With no sink installed the
 // call allocates nothing and returns immediately.
+//
+//hot:the sinkless fast path is pinned at 0 allocs/op in BENCH_baseline.json
 func (r *Registry) Emit(name string, fields Fields) {
 	if !r.hasSink.Load() {
 		return

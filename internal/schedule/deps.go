@@ -38,9 +38,16 @@ type DepGraph struct {
 	s *Schedule
 	// base[d] is the flat id of device d's first op.
 	base []int
-	// preds[id] lists the flat ids that must complete before id starts,
-	// excluding the implicit same-device issue-order predecessor.
-	preds [][]int
+	// all[id] and data[id] are views into one shared backing array (comb):
+	// all[id] lists every id that must complete before id starts — the
+	// same-device issue-order predecessor (if any) followed by the data
+	// dependencies — and data[id] is the same view minus the issue-order
+	// edge. Sharing one backing keeps Preds allocation-free, which the
+	// sanitizer's per-op happens-before check (the executor's inner loop)
+	// depends on.
+	all   [][]int
+	data  [][]int
+	comb  []int
 	total int
 }
 
@@ -67,24 +74,26 @@ func (g *DepGraph) NumOps() int { return g.total }
 
 // Preds returns the flat ids of the op's cross-op dependencies: the
 // same-device issue-order predecessor (if any) followed by the data
-// dependencies the executor blocks on.
-func (g *DepGraph) Preds(id int) []int {
-	r := g.Ref(id)
-	var out []int
-	if r.Index > 0 {
-		out = append(out, id-1)
-	}
-	return append(out, g.preds[id]...)
-}
+// dependencies the executor blocks on. The returned slice is a view into
+// the graph's shared backing — read-only, valid for the graph's lifetime,
+// and allocation-free to obtain.
+func (g *DepGraph) Preds(id int) []int { return g.all[id] }
 
 // DataPreds returns only the cross-op data dependencies (activations,
 // gradients, the backward's forward stash), without the issue-order edge.
-func (g *DepGraph) DataPreds(id int) []int { return g.preds[id] }
+// Like Preds, the result is a read-only view into the shared backing.
+func (g *DepGraph) DataPreds(id int) []int { return g.data[id] }
+
+// stashHalves enumerates the half labels a backward's forward stash can
+// carry: an unsliced forward (-1) or either sliced half.
+var stashHalves = [3]int{-1, 0, 1}
 
 // Dependencies builds the dependency graph of the schedule. It fails with an
 // error wrapping errdefs.ErrBadConfig when an op's producer is missing or a
 // NoSend forward has no aggregating sibling to carry its payload — the same
 // structural defects the executor would hit as an unresolvable wait.
+//
+//hot:built per sanitized execution and per scheddata sweep
 func (s *Schedule) Dependencies() (*DepGraph, error) {
 	type prodKey struct {
 		virt, micro, half int
@@ -95,7 +104,7 @@ func (s *Schedule) Dependencies() (*DepGraph, error) {
 		g.base[d] = g.total
 		g.total += len(s.Ops[d])
 	}
-	g.preds = make([][]int, g.total)
+	preds := make([][]int, g.total)
 
 	producers := make(map[prodKey]int, g.total)
 	for d, ops := range s.Ops {
@@ -134,19 +143,20 @@ func (s *Schedule) Dependencies() (*DepGraph, error) {
 				if op.Virt == 0 {
 					continue
 				}
-				halves := []int{op.Half}
+				halves := [2]int{op.Half}
+				nh := 1
 				if op.Half == -1 {
 					// A full consumer of a sliced producer needs both halves.
 					if _, ok := producers[prodKey{op.Virt - 1, op.Micro, -1, Fwd}]; !ok {
-						halves = []int{0, 1}
+						halves, nh = [2]int{0, 1}, 2
 					}
 				}
-				for _, h := range halves {
+				for _, h := range halves[:nh] {
 					from, err := fwdProducer(op.Virt-1, op.Micro, h)
 					if err != nil {
 						return nil, err
 					}
-					g.preds[cur] = append(g.preds[cur], from)
+					preds[cur] = append(preds[cur], from)
 				}
 			case Bwd:
 				if op.Virt < s.VirtStages-1 {
@@ -155,15 +165,43 @@ func (s *Schedule) Dependencies() (*DepGraph, error) {
 						return nil, fmt.Errorf("%w: schedule %s: no backward producer for micro %d at virtual stage %d",
 							errdefs.ErrBadConfig, s.Name, op.Micro, op.Virt+1)
 					}
-					g.preds[cur] = append(g.preds[cur], from)
+					preds[cur] = append(preds[cur], from)
 				}
 				// Own stage's forward stash (every half that exists).
-				for _, h := range []int{-1, 0, 1} {
+				for _, h := range stashHalves {
 					if from, ok := producers[prodKey{op.Virt, op.Micro, h, Fwd}]; ok {
-						g.preds[cur] = append(g.preds[cur], from)
+						preds[cur] = append(preds[cur], from)
 					}
 				}
 			}
+		}
+	}
+
+	// Flatten into the shared backing: per op, the issue-order edge (if any)
+	// followed by its data dependencies, with all/data as sub-slice views.
+	edges := 0
+	for d := range s.Ops {
+		if n := len(s.Ops[d]); n > 0 {
+			edges += n - 1
+		}
+	}
+	for _, ps := range preds {
+		edges += len(ps)
+	}
+	g.comb = make([]int, 0, edges)
+	g.all = make([][]int, g.total)
+	g.data = make([][]int, g.total)
+	for d := range s.Ops {
+		for i := range s.Ops[d] {
+			id := g.base[d] + i
+			lo := len(g.comb)
+			if i > 0 {
+				g.comb = append(g.comb, id-1)
+			}
+			dataLo := len(g.comb)
+			g.comb = append(g.comb, preds[id]...)
+			g.all[id] = g.comb[lo:len(g.comb):len(g.comb)]
+			g.data[id] = g.comb[dataLo:len(g.comb):len(g.comb)]
 		}
 	}
 	return g, nil

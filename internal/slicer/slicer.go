@@ -48,6 +48,8 @@ func Solve(f, b []float64, comm float64, m int) (Plan, error) {
 // forward, and mb grows until the first unbroken micro-batch on stage 0
 // would start no earlier than the second half of the last split one ends —
 // i.e. until slicing more micro-batches could no longer stall the pipeline.
+//
+//hot:solved once per candidate plan (Algorithm 2)
 func SolveProfile(prof sim.StageProfile) (Plan, error) {
 	if err := prof.Validate(); err != nil {
 		return Plan{}, fmt.Errorf("slicer: %w", err)

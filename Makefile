@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-waivers sanitize fuzz-smoke race race-core bench-smoke bench-baseline fault-smoke service-smoke soak-smoke chaos-smoke fmt-check tier1 verify clean
+.PHONY: all build test vet lint lint-waivers sanitize fuzz-smoke race race-core race-wide race-all bench-smoke bench-baseline fault-smoke service-smoke soak-smoke chaos-smoke fmt-check tier1 verify clean
 
 all: build
 
@@ -15,8 +15,9 @@ vet:
 
 # lint builds autopipelint and runs it twice: as a go vet -vettool over every
 # package (simclock, errsentinel, ctxspawn, locksafe, unitsafe, and the
-# interprocedural hotalloc — the determinism, error, concurrency,
-# dimensional, and hot-path allocation invariants, DESIGN.md §11), and in
+# interprocedural hotalloc and raceguard — the determinism, error,
+# concurrency, dimensional, hot-path allocation, and static data-race
+# invariants, DESIGN.md §11), and in
 # -testdata mode (scheddata) over the checked-in schedule goldens, partition
 # plans, and fault plans. Unused //lint:allow waivers fail the run.
 lint:
@@ -61,6 +62,18 @@ race:
 # simulation cache, and the fault-injected recovery paths live.
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/plan/... ./internal/exec/... ./internal/train/...
+
+# race-wide covers the remaining concurrent surface at full depth — the
+# autopiped service path (worker pool, cache, singleflight, soak ledger,
+# chaos middleware), the observability registry fast path, and the benchmark
+# harness — matching the static claim raceguard makes over the same
+# packages: what the analyzer proves unordered-access-free, the dynamic
+# detector exercises. race-all is both halves; CI's race matrix runs them as
+# separate jobs.
+race-wide:
+	$(GO) test -race ./internal/service/... ./internal/obs/... ./internal/bench/...
+
+race-all: race-core race-wide
 
 # bench-smoke compiles and runs every micro-benchmark exactly once — planner,
 # exec event loop, schedule dependency graphs, slicer, obs registry — then
@@ -128,12 +141,13 @@ tier1: build test
 
 # verify runs everything CI would: formatting, static analysis (go vet plus
 # the autopipelint invariant suite), the full test suite under the race
-# detector, the deep race pass over the planner engine, a one-shot benchmark
+# detector, the deep race pass over the planner engine and the whole
+# service/observability/bench surface (race-all), a one-shot benchmark
 # smoke, the fault-injection smoke, the service smoke, the crash-recovery
 # soak, the chaos-loadgen smoke, the sanitized executions, and the tier-1
 # gate. (CI additionally runs fuzz-smoke, kept out of verify so the local
 # gate stays fast.)
-verify: fmt-check vet lint tier1 race race-core bench-smoke fault-smoke service-smoke soak-smoke chaos-smoke sanitize
+verify: fmt-check vet lint tier1 race race-all bench-smoke fault-smoke service-smoke soak-smoke chaos-smoke sanitize
 
 clean:
 	$(GO) clean ./...

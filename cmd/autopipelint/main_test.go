@@ -1,0 +1,40 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestWaiverBudgetJustified runs the -waivers audit over the real tree (the
+// same roots make lint-waivers passes) and fails on any live //lint:allow
+// comment without a justification. `make lint` already rejects waivers that
+// suppress nothing; this closes the other gap — a waiver that works but says
+// nothing about why the finding is acceptable. Together they make the CI
+// fixture job reject both stale and unexplained suppressions.
+func TestWaiverBudgetJustified(t *testing.T) {
+	var out strings.Builder
+	if code := runWaivers(&out, []string{"../../internal", "../../cmd"}); code != 0 {
+		t.Fatalf("runWaivers exited %d:\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("runWaivers produced no output")
+	}
+	totalRE := regexp.MustCompile(`^\d+ live waiver\(s\)$`)
+	if last := lines[len(lines)-1]; !totalRE.MatchString(last) {
+		t.Fatalf("last line = %q, want the waiver total", last)
+	}
+	entryRE := regexp.MustCompile(`^.+\.go:\d+: [a-z]+: .+$`)
+	for _, line := range lines[:len(lines)-1] {
+		if strings.Contains(line, "(no justification)") {
+			t.Errorf("unjustified waiver: %s — every //lint:allow must say why the finding is acceptable", line)
+		}
+		if !entryRE.MatchString(line) {
+			t.Errorf("malformed waiver listing line: %q", line)
+		}
+	}
+	if len(lines)-1 > 0 {
+		t.Logf("waiver budget: %d justified waiver(s)", len(lines)-1)
+	}
+}

@@ -33,6 +33,7 @@ package callgraph
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -151,6 +152,13 @@ func Build(files []*ast.File, info *types.Info) *Graph {
 	}
 
 	// Pass 2: single-assignment bindings of local variables to literals.
+	// Every statement that can store into a function-typed variable must be
+	// visited here: an assignment the pass does not see leaves a stale binding
+	// behind, and a stale binding resolves calls to a body the variable no
+	// longer holds — unsound for the concurrency analyses (raceguard), which
+	// would attribute the wrong spawned body's accesses. Range clauses and
+	// address-taking (a pointer through which the variable can be reassigned
+	// out of sight) therefore widen conservatively.
 	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -175,6 +183,21 @@ func Build(files []*ast.File, info *types.Info) *Graph {
 							g.bind(name, nil)
 						}
 					}
+				}
+			case *ast.RangeStmt:
+				// `for _, f = range fns` (and `:=`) stores arbitrary range
+				// elements into f: never a single provable literal.
+				if n.Key != nil {
+					g.bind(n.Key, nil)
+				}
+				if n.Value != nil {
+					g.bind(n.Value, nil)
+				}
+			case *ast.UnaryExpr:
+				// &f escapes the variable: any callee holding the pointer can
+				// reassign it between the binding and the call site.
+				if n.Op == token.AND {
+					g.bind(ast.Unparen(n.X), nil)
 				}
 			}
 			return true

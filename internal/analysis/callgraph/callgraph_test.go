@@ -147,6 +147,55 @@ func TestFuncValue(t *testing.T) {
 	_ = info
 }
 
+// TestStoredThenReassigned pins the v3 unsoundness fix: a function variable
+// bound once to a literal and then reassigned through a channel the binding
+// pass cannot track — a range clause, or a pointer taken to the variable —
+// must widen to unresolved. v3 resolved rebound() and escaped() to the first
+// literal, so a concurrency analysis (raceguard) would have attributed the
+// wrong body's shared accesses to the call.
+func TestStoredThenReassigned(t *testing.T) {
+	g, _ := load(t, `package p
+
+func helper() {}
+
+func rebound(fns []func()) {
+	f := func() { helper() }
+	for _, f = range fns {
+		_ = f
+	}
+	f()
+}
+
+func escaped(mut func(*func())) {
+	f := func() { helper() }
+	mut(&f)
+	f()
+}
+
+func rangeDefined(fns []func()) {
+	for _, f := range fns {
+		f()
+	}
+}
+
+// still resolves: a single binding with no reassignment channel.
+func intact() {
+	f := func() { helper() }
+	f()
+}
+`)
+	for _, fn := range []string{"rebound", "escaped", "rangeDefined"} {
+		for _, got := range callees(nodeByName(t, g, fn)) {
+			if got != "mut" { // escaped's call to its parameter never resolves anyway
+				t.Errorf("%s: call resolved to %q; reassignment must widen the binding to unresolved", fn, got)
+			}
+		}
+	}
+	if got := callees(nodeByName(t, g, "intact")); len(got) != 1 || got[0] != "function literal in intact" {
+		t.Errorf("intact: callees = %v, want the bound literal", got)
+	}
+}
+
 func TestInterfaceCallUnresolved(t *testing.T) {
 	g, _ := load(t, `package p
 

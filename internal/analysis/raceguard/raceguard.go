@@ -1,0 +1,261 @@
+// Package raceguard is the eighth autopipelint analyzer: a compositional,
+// RacerD-style static data-race check over the concurrency summaries of
+// DESIGN §11.10. The dynamic detector (`make race`) only sees the
+// interleavings a given run explores; raceguard instead reasons about every
+// pair of concurrently-live regions the package call graph can prove:
+//
+//   - spawner vs. goroutine: an access in the spawning function against an
+//     access reachable from the spawned body (summary.SpecializeSpawn rebases
+//     the callee's accesses into the spawner's frame),
+//   - goroutine vs. goroutine: two spawns from the same body, and
+//   - a loop-spawned goroutine vs. its own other iterations.
+//
+// A pair is reported when the two sides name the same location (root
+// variable plus field chain), at least one side writes, and nothing orders
+// them: no mutex (or sync.Once pseudo-lock) held on both sides, and no
+// happens-before edge. The happens-before edges recognized are the ones the
+// summaries carry:
+//
+//   - program order into the spawn: spawner accesses sequenced before the
+//     `go` statement (before the outermost enclosing loop, for loop spawns —
+//     iteration i+1's accesses race with iteration i's goroutine),
+//   - WaitGroup Done→Wait: spawner accesses after a Wait on a WaitGroup the
+//     goroutine provably Dones,
+//   - channel send→recv: spawner accesses after a receive on a channel the
+//     goroutine unconditionally sends on or closes (and, symmetrically, a
+//     goroutine blocked receiving before its accesses is ordered after the
+//     spawner's send — tracked at function granularity, not per-statement).
+//
+// Soundness caveats, deliberate and documented: spawns the call graph cannot
+// resolve (interface methods, function-typed fields) contribute nothing, as
+// do accesses behind such calls; index expressions never resolve (element
+// identity is out of scope); transitive spawns of a spawned body are not
+// chased. raceguard is precision-first — it trades those misses for
+// diagnostics that are individually actionable, each carrying both access
+// paths with their witness chains.
+//
+// Escape hatch: `//lint:allow raceguard <reason>` on the reported line (the
+// racing spawner access, or the `go` statement for goroutine-vs-goroutine
+// pairs); `-waivers` audits the survivors.
+package raceguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"autopipe/internal/analysis"
+	"autopipe/internal/analysis/callgraph"
+	"autopipe/internal/analysis/summary"
+)
+
+// DefaultScope lists the concurrent production packages the sweep covers.
+var DefaultScope = []string{
+	"autopipe/internal/core",
+	"autopipe/internal/exec",
+	"autopipe/internal/service",
+	"autopipe/internal/obs",
+	"autopipe/internal/fault",
+	"autopipe/internal/train",
+}
+
+// Analyzer checks the production packages.
+var Analyzer = New(DefaultScope...)
+
+// New returns a raceguard analyzer scoped to the given package paths.
+func New(scope ...string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "raceguard",
+		Doc:  "report shared-state accesses reachable from two concurrently-live regions with a write and no ordering lock or happens-before edge",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		var files []*ast.File
+		for _, file := range pass.Files {
+			if !pass.InTestFile(file) {
+				files = append(files, file)
+			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		g := callgraph.Build(files, pass.Info)
+		sums := summary.ComputeConcurrency(g, pass.Pkg, pass.Info, summary.Options{Ignore: pass.Waived})
+		c := &checker{pass: pass, sums: sums, reported: make(map[string]bool)}
+		for _, n := range g.Nodes {
+			c.checkNode(n, sums[n])
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	sums map[*callgraph.Node]*summary.ConcInfo
+	// reported dedups by (position, location): one diagnostic per racing
+	// location per site, however many access pairs witness it.
+	reported map[string]bool
+}
+
+// side is one concurrently-live region's view of the shared state.
+type side struct {
+	accs []summary.Access
+	hb   summary.HBFacts
+}
+
+func (c *checker) checkNode(n *callgraph.Node, ci *summary.ConcInfo) {
+	if ci == nil || len(ci.Spawns) == 0 {
+		return
+	}
+	spawned := make([]side, len(ci.Spawns))
+	for i, sp := range ci.Spawns {
+		if sp.Callee == nil {
+			continue // unresolved spawn: the documented residual
+		}
+		accs, hb := summary.SpecializeSpawn(c.sums, sp.Callee, sp.Stmt.Call, c.pass.Pkg, c.pass.Info)
+		spawned[i] = side{accs: accs, hb: hb}
+	}
+
+	root := side{
+		accs: append(append([]summary.Access{}, ci.SharedReads...), ci.SharedWrites...),
+		hb:   ci.HB,
+	}
+	for i, sp := range ci.Spawns {
+		c.rootVsSpawn(n, root, sp, spawned[i])
+		if sp.InLoop {
+			c.spawnVsSpawn(sp, spawned[i], sp, spawned[i], true)
+		}
+		for j := i + 1; j < len(ci.Spawns); j++ {
+			c.spawnVsSpawn(sp, spawned[i], ci.Spawns[j], spawned[j])
+		}
+	}
+}
+
+// rootVsSpawn pairs the spawner's own accesses against the goroutine's.
+func (c *checker) rootVsSpawn(n *callgraph.Node, root side, sp summary.Spawn, gr side) {
+	for _, ga := range gr.accs {
+		for _, ra := range root.accs {
+			if ra.Ref.Key() != ga.Ref.Key() || (!ra.Write && !ga.Write) {
+				continue
+			}
+			if commonLock(ra.Locks, ga.Locks) {
+				continue
+			}
+			if c.orderedBySpawn(root, ra, sp, gr) {
+				continue
+			}
+			c.report(ra.Pos, ra.Ref.Display(),
+				"unsynchronized access to %s: goroutine started at line %d %s; the spawner's %s is ordered by no common lock or happens-before edge",
+				ra.Ref.Display(), c.line(sp.Stmt.Pos()), ga.Desc, ra.Desc)
+		}
+	}
+}
+
+// orderedBySpawn reports whether the spawner access ra is sequenced against
+// everything the goroutine of sp does.
+func (c *checker) orderedBySpawn(root side, ra summary.Access, sp summary.Spawn, gr side) bool {
+	// Program order: sequenced before the goroutine can first exist. For a
+	// loop spawn the boundary is the loop start — an access later in the loop
+	// body is concurrent with the previous iteration's goroutine.
+	if ra.Pos < sp.Boundary {
+		return true
+	}
+	// Done→Wait: a Wait between the spawn and the access, on a WaitGroup the
+	// goroutine provably Dones.
+	for _, w := range root.hb.Waits {
+		if w.Pos <= sp.Stmt.Pos() || w.Pos >= ra.Pos {
+			continue
+		}
+		for _, d := range gr.hb.Done {
+			if d.Ref.Key() == w.Ref.Key() {
+				return true
+			}
+		}
+	}
+	// send→recv: a receive between the spawn and the access, on a channel the
+	// goroutine unconditionally sends on or closes.
+	for _, r := range root.hb.Recvs {
+		if r.Pos <= sp.Stmt.Pos() || r.Pos >= ra.Pos {
+			continue
+		}
+		for _, s := range gr.hb.Sends {
+			if s.Ref.Key() == r.Ref.Key() {
+				return true
+			}
+		}
+	}
+	// Symmetric coarse edge: the goroutine receives on a channel before doing
+	// anything shared (function-granular: it receives at all), and the
+	// spawner's access precedes its unconditional send on that channel. This
+	// covers the `go worker(); prepare(); ch <- job` hand-off shape.
+	for _, s := range root.hb.Sends {
+		if s.Pos <= ra.Pos {
+			continue
+		}
+		for _, r := range gr.hb.Recvs {
+			if r.Ref.Key() == s.Ref.Key() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnVsSpawn pairs two goroutines' accesses (the same spawn twice for a
+// loop spawn racing its own iterations). Between sibling goroutines the only
+// ordering the summaries can prove is mutual exclusion.
+func (c *checker) spawnVsSpawn(spA summary.Spawn, a side, spB summary.Spawn, b side, selfArg ...bool) {
+	self := len(selfArg) > 0 && selfArg[0]
+	for _, aa := range a.accs {
+		for _, ba := range b.accs {
+			if aa.Ref.Key() != ba.Ref.Key() || (!aa.Write && !ba.Write) {
+				continue
+			}
+			if commonLock(aa.Locks, ba.Locks) {
+				continue
+			}
+			if self {
+				c.report(spB.Stmt.Pos(), aa.Ref.Display(),
+					"goroutine spawned in a loop races its own iterations on %s: %s with no common lock",
+					aa.Ref.Display(), ba.Desc)
+			} else {
+				c.report(spB.Stmt.Pos(), aa.Ref.Display(),
+					"two goroutines race on %s: this one %s; the goroutine started at line %d %s; no common lock orders them",
+					aa.Ref.Display(), ba.Desc, c.line(spA.Stmt.Pos()), aa.Desc)
+			}
+		}
+	}
+}
+
+func commonLock(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) line(pos token.Pos) int { return c.pass.Fset.Position(pos).Line }
+
+func (c *checker) report(pos token.Pos, loc, format string, args ...any) {
+	key := fmt.Sprintf("%d|%s", pos, loc)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,31 @@
+package raceguard
+
+import (
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis/analysistest"
+)
+
+// The fixture is typechecked under the import path "raceguard", so the
+// analyzer is scoped to that path instead of the production packages. The
+// fixture carries ≥12 positive `// want` cases and ≥6 negative functions.
+func TestRaceguard(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/raceguard", New("raceguard"))
+}
+
+// TestOutOfScope: the same fixture outside the scope must be silent.
+func TestOutOfScope(t *testing.T) {
+	a := New(DefaultScope...)
+	diags, err := analysistest.Load(t, "../testdata/src/raceguard", "someotherpkg", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture's waiver suppresses nothing when the analyzer is scoped
+	// out, so the framework reports it as unused; nothing else may fire.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unused waiver") {
+			t.Errorf("expected no diagnostics out of scope, got: %v", d)
+		}
+	}
+}

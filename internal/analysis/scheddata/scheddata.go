@@ -155,10 +155,37 @@ func checkSchedule(path string, data []byte) []analysis.Diagnostic {
 }
 
 func checkFaults(path string, data []byte) []analysis.Diagnostic {
-	if _, err := fault.Parse(data); err != nil {
+	p, err := fault.Parse(data)
+	if err != nil {
 		return []analysis.Diagnostic{diag(path, "malformed fault plan: %v", err)}
 	}
-	return nil
+	// Concurrent device crashes — several "device-crash" events sharing one
+	// activation time — replay in array order: the decoded slice is the
+	// injector's iteration order, so the fixture itself is the ordering key.
+	// Require each same-instant crash run to be emitted sorted by device and
+	// free of duplicates. A generator that passed through a map keyed by
+	// device would emit a different order per run (Go randomizes map
+	// iteration) and two checked-in regenerations of the same plan would
+	// replay differently; sorted emission makes that escape a lint finding
+	// instead of a flaky golden. Faults are scanned in array order so the
+	// diagnostics themselves are deterministic.
+	var diags []analysis.Diagnostic
+	lastCrash := make(map[float64]int)
+	for _, f := range p.Faults {
+		if f.Kind != fault.DeviceCrash {
+			continue
+		}
+		if prev, seen := lastCrash[f.At]; seen {
+			switch {
+			case f.Device == prev:
+				diags = append(diags, diag(path, "fault plan %q: duplicate device-crash at t=%v on device %d", p.Name, f.At, f.Device))
+			case f.Device < prev:
+				diags = append(diags, diag(path, "fault plan %q: concurrent device-crash events at t=%v not sorted by device (%d after %d); emit same-instant crashes in device order for deterministic replay", p.Name, f.At, f.Device, prev))
+			}
+		}
+		lastCrash[f.At] = f.Device
+	}
+	return diags
 }
 
 func checkChaos(path string, data []byte) []analysis.Diagnostic {

@@ -22,7 +22,7 @@ func check(t *testing.T, name string) []string {
 }
 
 func TestValidFilesAreClean(t *testing.T) {
-	for _, name := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json"} {
+	for _, name := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json", "faults_concurrent_ok.json"} {
 		if msgs := check(t, name); len(msgs) != 0 {
 			t.Errorf("%s: unexpected findings: %v", name, msgs)
 		}
@@ -63,6 +63,23 @@ func TestBadPlanDoc(t *testing.T) {
 	}
 }
 
+// TestConcurrentCrashOrdering: device-crash events sharing an activation
+// time replay in array order, so the fixture must emit them sorted by device
+// and without duplicates — the deterministic ordering key a map-keyed
+// generator would scramble.
+func TestConcurrentCrashOrdering(t *testing.T) {
+	msgs := check(t, "faults_concurrent_bad.json")
+	if len(msgs) != 2 {
+		t.Fatalf("want an unsorted finding and a duplicate finding, got %v", msgs)
+	}
+	if !strings.Contains(msgs[0], "not sorted by device") {
+		t.Errorf("first finding = %q, want the unsorted-emission diagnostic", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "duplicate device-crash") {
+		t.Errorf("second finding = %q, want the duplicate diagnostic", msgs[1])
+	}
+}
+
 func TestBadChaosPlan(t *testing.T) {
 	msgs := check(t, "chaos_bad.json")
 	if len(msgs) != 1 || !strings.Contains(msgs[0], "malformed chaos plan") {
@@ -88,12 +105,12 @@ func TestCheckPaths(t *testing.T) {
 	for _, d := range diags {
 		bad[filepath.Base(d.Pos.Filename)] = true
 	}
-	for _, want := range []string{"sched_cycle.json", "sched_dup.json", "faults_bad.json", "plan_bad.json", "bench_bad.json", "chaos_bad.json"} {
+	for _, want := range []string{"sched_cycle.json", "sched_dup.json", "faults_bad.json", "faults_concurrent_bad.json", "plan_bad.json", "bench_bad.json", "chaos_bad.json"} {
 		if !bad[want] {
 			t.Errorf("sweep missed %s (findings: %v)", want, diags)
 		}
 	}
-	for _, clean := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json"} {
+	for _, clean := range []string{"sched_ok.json", "plan_ok.json", "trace_skip.json", "bench_ok.json", "chaos_ok.json", "faults_concurrent_ok.json"} {
 		if bad[clean] {
 			t.Errorf("sweep flagged clean file %s", clean)
 		}

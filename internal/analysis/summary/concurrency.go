@@ -1,0 +1,972 @@
+// Concurrency facts: the per-function summaries raceguard (DESIGN §11.10)
+// consumes. On top of the effect bitset (summary.go), ComputeConcurrency
+// derives for every callgraph node:
+//
+//   - Spawns: the `go` statements in the body, each resolved through the
+//     callgraph (named functions, methods, method values, single-assignment
+//     literals — the same resolution ctxspawn uses), with the enclosing-loop
+//     boundary that decides which of the spawner's accesses are sequenced
+//     before the goroutine can first run.
+//   - SharedReads / SharedWrites: accesses to goroutine-shareable state —
+//     package-level variables, closure-captured variables, and struct fields
+//     reached from a named base path — each carrying the set of mutexes
+//     provably held at the access (a CFG must-hold analysis, the dual of
+//     locksafe's leak check) and a witness chain when the access was
+//     inherited through a call.
+//   - HB: the happens-before material — WaitGroup.Done / channel sends the
+//     function performs (transitively, same-goroutine), and the
+//     WaitGroup.Wait / channel receives it performs in program order.
+//     sync.Once.Do contributes mutual exclusion instead: accesses inside a
+//     resolved Do callback hold a pseudo-lock keyed on the Once value.
+//
+// Accesses propagate bottom-up across resolved call edges exactly like the
+// effect facts, with two refinements: edges that are the call of a `go`
+// statement are excluded (a spawned callee's accesses are the *concurrent*
+// side, not the caller's own), and accesses rooted at a callee receiver or
+// parameter are rebased onto the caller's argument when the parameter is
+// reference-like (pointer, map, slice, chan) and the argument resolves to a
+// named base path — otherwise they are dropped, never misattributed. A
+// callee-local root (per-invocation state) is likewise dropped at the edge.
+//
+// Everything here is a may/must mix chosen so raceguard errs toward silence:
+// accesses and spawns are may-facts, lock sets are must-facts, and
+// happens-before sources are only recorded when the operation is
+// unconditional (a send inside a select that has a default case may never
+// execute and contributes nothing).
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"autopipe/internal/analysis/callgraph"
+	"autopipe/internal/analysis/cfg"
+)
+
+// A Ref names one shareable storage location by identity: the root variable
+// (package-level, captured, receiver, or parameter) plus the chain of struct
+// fields selected from it. Two Refs alias when their Keys are equal.
+type Ref struct {
+	// Root is the base variable of the access path.
+	Root *types.Var
+	// Leaf is the object actually accessed: the last field of the chain, or
+	// Root itself for a plain variable access.
+	Leaf *types.Var
+	// chain is the dotted field-identity suffix ("" for a plain variable).
+	chain string
+	// chainDisp is the rendered field suffix (".count").
+	chainDisp string
+}
+
+// Key is the identity of the location: equal keys mean the same variable or
+// the same field chain from the same base.
+func (r Ref) Key() string { return objKey(r.Root) + r.chain }
+
+// Display renders the access path for diagnostics ("s.count").
+func (r Ref) Display() string { return r.Root.Name() + r.chainDisp }
+
+// objKey identifies a variable object stably within one analysis pass.
+func objKey(v *types.Var) string { return fmt.Sprintf("v%d", v.Pos()) }
+
+// An Access is one shared-state read or write.
+type Access struct {
+	Ref Ref
+	// Pos is the site in the summarized body: the access itself, or the call
+	// that inherited it.
+	Pos token.Pos
+	// Write reports a store (assignment, inc/dec, or container store through
+	// an index expression).
+	Write bool
+	// Locks is the set of mutex keys provably held at the access, including
+	// "once:" pseudo-locks for sync.Once.Do callbacks.
+	Locks map[string]bool
+	// Desc is the witness chain: "write of s.count", prefixed with
+	// "call to f: " per inheriting edge.
+	Desc string
+}
+
+// A SyncOp is one happens-before-relevant operation on an identified object:
+// a WaitGroup Done/Wait or a channel send/receive/close.
+type SyncOp struct {
+	Ref Ref
+	Pos token.Pos
+}
+
+// HBFacts is the happens-before material of one function.
+type HBFacts struct {
+	// Done lists WaitGroup values the function calls Done on — transitively,
+	// on its own goroutine — establishing Done→Wait edges for spawners.
+	Done []SyncOp
+	// Sends lists channels the function unconditionally sends on or closes
+	// (sends inside a select with a default case are excluded: they may never
+	// execute), establishing send→recv edges.
+	Sends []SyncOp
+	// Waits lists WaitGroup.Wait calls in program order.
+	Waits []SyncOp
+	// Recvs lists channel receives in program order (select-with-default
+	// receives excluded).
+	Recvs []SyncOp
+}
+
+// A Spawn is one `go` statement.
+type Spawn struct {
+	Stmt *ast.GoStmt
+	// Callee is the resolved spawned body, nil when the callgraph cannot
+	// resolve it (interface method, function-typed field — the documented
+	// residual).
+	Callee *callgraph.Node
+	// InLoop reports whether the go statement sits inside a loop, in which
+	// case the goroutine is concurrent with other iterations' instances of
+	// itself.
+	InLoop bool
+	// Boundary is the position before which the spawner's accesses are
+	// sequenced ahead of the goroutine: the outermost enclosing loop's start,
+	// or the go statement itself.
+	Boundary token.Pos
+}
+
+// ConcInfo is one function's concurrency summary.
+type ConcInfo struct {
+	Spawns       []Spawn
+	SharedReads  []Access
+	SharedWrites []Access
+	HB           HBFacts
+
+	// bookkeeping for the fixpoint and for spawn-site specialization
+	accKeys  map[string]bool
+	syncKeys map[string]bool
+	// callLocks records the mutexes held at each call site, so inherited
+	// accesses run under the caller's locks too.
+	callLocks map[*ast.CallExpr]map[string]bool
+	// goCalls marks call expressions that are `go` statements: their edges
+	// carry no same-goroutine inheritance.
+	goCalls map[*ast.CallExpr]bool
+	// onceEdges are resolved sync.Once.Do callbacks, inherited under a
+	// pseudo-lock.
+	onceEdges []onceEdge
+	bodyPos   token.Pos
+	bodyEnd   token.Pos
+	params    map[*types.Var]bool
+}
+
+type onceEdge struct {
+	callee *callgraph.Node
+	site   *ast.CallExpr
+	lock   string
+}
+
+// ComputeConcurrency returns the concurrency summary for every node of g,
+// propagated bottom-up to a fixpoint across same-goroutine call edges.
+func ComputeConcurrency(g *callgraph.Graph, pkg *types.Package, info *types.Info, opts Options) map[*callgraph.Node]*ConcInfo {
+	out := make(map[*callgraph.Node]*ConcInfo, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out[n] = directConc(g, n, pkg, info, opts)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			ci := out[n]
+			for _, e := range n.Out {
+				if ci.goCalls[e.Site] {
+					continue
+				}
+				if ci.inherit(out[e.Callee], e.Callee, e.Site, "", pkg, info) {
+					changed = true
+				}
+			}
+			for _, oe := range ci.onceEdges {
+				if ci.inherit(out[oe.callee], oe.callee, oe.site, oe.lock, pkg, info) {
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SpecializeSpawn rebases the spawned callee's shared accesses and
+// happens-before facts into the spawner's scope at one go-statement call:
+// receiver/parameter roots become the spawn-site arguments, callee-local
+// roots are dropped. raceguard uses the result as the goroutine side of every
+// pair it checks.
+func SpecializeSpawn(sums map[*callgraph.Node]*ConcInfo, callee *callgraph.Node, call *ast.CallExpr, pkg *types.Package, info *types.Info) ([]Access, HBFacts) {
+	ci := sums[callee]
+	if ci == nil {
+		return nil, HBFacts{}
+	}
+	sub := newSubst(ci, callee, call, pkg, info)
+	var accs []Access
+	for _, a := range append(append([]Access{}, ci.SharedReads...), ci.SharedWrites...) {
+		if na, ok := sub.access(a); ok {
+			accs = append(accs, na)
+		}
+	}
+	var hb HBFacts
+	hb.Done = sub.ops(ci.HB.Done)
+	hb.Sends = sub.ops(ci.HB.Sends)
+	hb.Waits = sub.ops(ci.HB.Waits)
+	hb.Recvs = sub.ops(ci.HB.Recvs)
+	return accs, hb
+}
+
+// subst rebases callee-scope refs into caller scope at one call site.
+type subst struct {
+	callee *ConcInfo
+	pkg    *types.Package
+	// byParam maps a callee receiver/parameter root to the caller-side ref of
+	// the corresponding argument; absence means "drop".
+	byParam map[*types.Var]Ref
+	// keyPrefix maps objKey(param) to the argument ref's key, so lock-set
+	// keys (which are rendered ref keys) rebase consistently with access
+	// refs: a mutex locked as r.mu in the callee and as r.mu in the caller
+	// must compare equal after inheritance.
+	keyPrefix map[string]string
+}
+
+func newSubst(ci *ConcInfo, callee *callgraph.Node, call *ast.CallExpr, pkg *types.Package, info *types.Info) *subst {
+	s := &subst{callee: ci, pkg: pkg, byParam: make(map[*types.Var]Ref), keyPrefix: make(map[string]string)}
+	sig := signatureOf(callee, info)
+	if sig == nil {
+		return s
+	}
+	bind := func(p *types.Var, arg ast.Expr) {
+		if !aliasesArg(p.Type()) {
+			return
+		}
+		if r, ok := resolveRef(info, arg); ok {
+			s.byParam[p] = r
+			s.keyPrefix[objKey(p)] = r.Key()
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			bind(recv, sel.X)
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break // the variadic slice is a fresh backing array, not an alias
+		}
+		if i < len(call.Args) {
+			bind(sig.Params().At(i), call.Args[i])
+		}
+	}
+	return s
+}
+
+// ref rebases one callee-scope ref, reporting false when the access must be
+// dropped (unmappable parameter, value copy, or callee-local root).
+func (s *subst) ref(r Ref) (Ref, bool) {
+	root := r.Root
+	if base, ok := s.byParam[root]; ok {
+		return Ref{
+			Root:      base.Root,
+			Leaf:      r.Leaf,
+			chain:     base.chain + r.chain,
+			chainDisp: base.chainDisp + r.chainDisp,
+		}, true
+	}
+	if s.callee.params[root] {
+		return Ref{}, false // unmappable receiver/parameter
+	}
+	if root.Parent() == s.pkg.Scope() || root.Pkg() == nil || root.Pkg().Scope() == root.Parent() {
+		return r, true // package-level state is shared everywhere
+	}
+	if root.Pos() < s.callee.bodyPos || root.Pos() > s.callee.bodyEnd {
+		return r, true // captured from an enclosing scope: identity is stable
+	}
+	return Ref{}, false // callee-local: per-invocation, not shared
+}
+
+func (s *subst) access(a Access) (Access, bool) {
+	if _, mapped := s.byParam[a.Ref.Root]; mapped && a.Ref.chain == "" {
+		// A bare read/write of the parameter variable touches the callee's
+		// private copy, not the caller's argument cell; only accesses that
+		// chain through the reference (c.n) alias caller state. Sync ops are
+		// different — a Done on a *sync.WaitGroup parameter names the
+		// pointed-to object — so this drop lives here, not in ref.
+		return Access{}, false
+	}
+	nr, ok := s.ref(a.Ref)
+	if !ok {
+		return Access{}, false
+	}
+	na := a
+	na.Ref = nr
+	na.Locks = s.locks(a.Locks)
+	return na, true
+}
+
+// locks rebases a lock set key-by-key through the parameter substitution. A
+// key rooted at neither a mapped parameter nor caller-visible state is kept
+// raw: it can only ever suppress a pair inherited through the same callee —
+// identical raw keys name the same mutex expression — never lift a distinct
+// caller-side guard onto an access.
+func (s *subst) locks(in map[string]bool) map[string]bool {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(in))
+	for k := range in {
+		out[s.lockKey(k)] = true
+	}
+	return out
+}
+
+func (s *subst) lockKey(k string) string {
+	if rest, ok := strings.CutPrefix(k, "once:"); ok {
+		return "once:" + s.rebaseKey(rest)
+	}
+	return s.rebaseKey(k)
+}
+
+func (s *subst) rebaseKey(k string) string {
+	for pfx, base := range s.keyPrefix {
+		if k == pfx {
+			return base
+		}
+		if strings.HasPrefix(k, pfx+".") {
+			return base + k[len(pfx):]
+		}
+	}
+	return k
+}
+
+func (s *subst) ops(in []SyncOp) []SyncOp {
+	var out []SyncOp
+	for _, op := range in {
+		if nr, ok := s.ref(op.Ref); ok {
+			out = append(out, SyncOp{Ref: nr, Pos: op.Pos})
+		}
+	}
+	return out
+}
+
+// inherit folds one callee summary into the caller across a same-goroutine
+// edge, under the caller's call-site locks (plus the Once pseudo-lock for Do
+// callbacks). Reports whether anything new was added.
+func (ci *ConcInfo) inherit(src *ConcInfo, callee *callgraph.Node, site *ast.CallExpr, onceLock string, pkg *types.Package, info *types.Info) bool {
+	if src == nil {
+		return false
+	}
+	sub := newSubstFromInfo(src, callee, site, pkg, info)
+	siteLocks := ci.callLocks[site]
+	changed := false
+	addAccess := func(a Access, write bool) {
+		na, ok := sub.access(a)
+		if !ok {
+			return
+		}
+		na.Pos = site.Pos()
+		na.Write = write
+		na.Desc = fmt.Sprintf("call to %s: %s", callee.Name(), a.Desc)
+		for k := range siteLocks {
+			if na.Locks == nil {
+				na.Locks = make(map[string]bool)
+			}
+			na.Locks[k] = true
+		}
+		if onceLock != "" {
+			if na.Locks == nil {
+				na.Locks = make(map[string]bool)
+			}
+			na.Locks[onceLock] = true
+		}
+		key := accessKey(na)
+		if ci.accKeys[key] {
+			return
+		}
+		ci.accKeys[key] = true
+		if write {
+			ci.SharedWrites = append(ci.SharedWrites, na)
+		} else {
+			ci.SharedReads = append(ci.SharedReads, na)
+		}
+		changed = true
+	}
+	for _, a := range src.SharedReads {
+		addAccess(a, false)
+	}
+	for _, a := range src.SharedWrites {
+		addAccess(a, true)
+	}
+	addOps := func(kind string, ops []SyncOp, dst *[]SyncOp) {
+		for _, op := range ops {
+			nr, ok := sub.ref(op.Ref)
+			if !ok {
+				continue
+			}
+			key := kind + "|" + nr.Key()
+			if ci.syncKeys[key] {
+				continue
+			}
+			ci.syncKeys[key] = true
+			*dst = append(*dst, SyncOp{Ref: nr, Pos: site.Pos()})
+			changed = true
+		}
+	}
+	addOps("done", src.HB.Done, &ci.HB.Done)
+	addOps("send", src.HB.Sends, &ci.HB.Sends)
+	addOps("wait", src.HB.Waits, &ci.HB.Waits)
+	addOps("recv", src.HB.Recvs, &ci.HB.Recvs)
+	return changed
+}
+
+func newSubstFromInfo(src *ConcInfo, callee *callgraph.Node, site *ast.CallExpr, pkg *types.Package, info *types.Info) *subst {
+	return newSubst(src, callee, site, pkg, info)
+}
+
+func accessKey(a Access) string {
+	var locks []string
+	for k := range a.Locks {
+		locks = append(locks, k)
+	}
+	insertionSort(locks)
+	w := "r"
+	if a.Write {
+		w = "w"
+	}
+	// Position is part of the identity: the same write before and after a
+	// `go` statement are different facts (only one is ordered by program
+	// order). Positions are drawn from the finite set of access sites and
+	// call sites, so the fixpoint still terminates.
+	return fmt.Sprintf("%s|%s|%d|%s", a.Ref.Key(), w, a.Pos, strings.Join(locks, ","))
+}
+
+// insertionSort avoids importing sort for the tiny lock-key slices.
+func insertionSort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// aliasesArg reports whether passing a value of type t gives the callee a
+// view of the caller's storage (so receiver/parameter accesses alias the
+// argument) rather than a copy.
+func aliasesArg(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// resolveRef names the storage location of an expression, unwrapping parens,
+// derefs, and address-of (aliasing preserves identity). Index expressions do
+// not resolve: element identity is beyond this analysis, and conflating
+// elements would turn disjoint per-index writes into false races.
+func resolveRef(info *types.Info, e ast.Expr) (Ref, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			v, ok = info.Defs[e].(*types.Var)
+		}
+		if !ok || v == nil || v.IsField() || e.Name == "_" {
+			return Ref{}, false
+		}
+		return Ref{Root: v, Leaf: v}, true
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			base, ok := resolveRef(info, e.X)
+			if !ok {
+				return Ref{}, false
+			}
+			f, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return Ref{}, false
+			}
+			base.Leaf = f
+			base.chain += "." + objKey(f)
+			base.chainDisp += "." + f.Name()
+			return base, true
+		}
+		// Package-qualified variable: other.Var.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			if _, isPkg := info.Uses[identOf(e.X)].(*types.PkgName); isPkg {
+				return Ref{Root: v, Leaf: v}, true
+			}
+		}
+	case *ast.StarExpr:
+		return resolveRef(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolveRef(info, e.X)
+		}
+	}
+	return Ref{}, false
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// syncInternal reports whether the accessed object is itself a
+// synchronization primitive (sync.Mutex field, atomic.Int64 counter, ...):
+// operations on those are synchronization, not shared-data accesses.
+func syncInternal(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// directConc scans one body for its own spawns, accesses, sync ops, and lock
+// states.
+func directConc(g *callgraph.Graph, n *callgraph.Node, pkg *types.Package, info *types.Info, opts Options) *ConcInfo {
+	ci := &ConcInfo{
+		accKeys:   make(map[string]bool),
+		syncKeys:  make(map[string]bool),
+		callLocks: make(map[*ast.CallExpr]map[string]bool),
+		goCalls:   make(map[*ast.CallExpr]bool),
+		params:    make(map[*types.Var]bool),
+	}
+	body := n.Body()
+	if body == nil {
+		return ci
+	}
+	ci.bodyPos, ci.bodyEnd = body.Pos(), body.End()
+	if sig := signatureOf(n, info); sig != nil {
+		if recv := sig.Recv(); recv != nil {
+			ci.params[recv] = true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			ci.params[sig.Params().At(i)] = true
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			ci.params[sig.Results().At(i)] = true
+		}
+	}
+
+	c := &concCollector{
+		g:          g,
+		ci:         ci,
+		pkg:        pkg,
+		info:       info,
+		opts:       opts,
+		writes:     make(map[ast.Expr]bool),
+		selDefault: make(map[ast.Node]bool),
+	}
+	c.prepass(body)
+	c.spawns(body)
+
+	// Must-hold lock dataflow over the CFG, then one in-order recording pass.
+	graph := cfg.New(body)
+	facts := cfg.Solve[lockSet](graph, (*lockFlow)(c))
+	for _, b := range graph.Blocks {
+		in, ok := facts[b]
+		if !ok {
+			continue
+		}
+		state := in.clone()
+		for _, node := range b.Nodes {
+			c.visit(node, state)
+		}
+	}
+	return ci
+}
+
+// lockSet is the must-hold fact: every key is a mutex provably held.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// lockFlow adapts concCollector as the cfg.Problem for the must-hold pass.
+type lockFlow concCollector
+
+func (l *lockFlow) Entry() lockSet { return lockSet{} }
+
+func (l *lockFlow) Join(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (l *lockFlow) Equal(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lockFlow) Transfer(b *cfg.Block, in lockSet) lockSet {
+	out := in.clone()
+	for _, node := range b.Nodes {
+		cfg.Walk(node, func(m ast.Node) bool {
+			if _, ok := m.(*ast.DeferStmt); ok {
+				return false // a deferred Unlock releases at return, not here
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				(*concCollector)(l).lockOp(call, out)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type concCollector struct {
+	g          *callgraph.Graph
+	ci         *ConcInfo
+	pkg        *types.Package
+	info       *types.Info
+	opts       Options
+	writes     map[ast.Expr]bool
+	selDefault map[ast.Node]bool
+}
+
+// prepass marks write targets and select-with-default communication ops.
+func (c *concCollector) prepass(body ast.Node) {
+	cfgWalkAll(body, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				c.writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			c.writes[ast.Unparen(m.X)] = true
+		case *ast.RangeStmt:
+			if m.Tok == token.ASSIGN {
+				if m.Key != nil {
+					c.writes[ast.Unparen(m.Key)] = true
+				}
+				if m.Value != nil {
+					c.writes[ast.Unparen(m.Value)] = true
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range m.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return
+			}
+			for _, cl := range m.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(x ast.Node) bool {
+					switch x := x.(type) {
+					case *ast.SendStmt:
+						c.selDefault[x] = true
+					case *ast.UnaryExpr:
+						if x.Op == token.ARROW {
+							c.selDefault[x] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+}
+
+// spawns records every go statement with its loop boundary.
+func (c *concCollector) spawns(body ast.Node) {
+	var walk func(n ast.Node, loop token.Pos)
+	walk = func(n ast.Node, loop token.Pos) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return m == n // nested literals are their own nodes
+			case *ast.ForStmt:
+				if m != n {
+					next := loop
+					if next == token.NoPos {
+						next = m.Pos()
+					}
+					walk(m.Body, next)
+					if m.Init != nil {
+						walk(m.Init, loop)
+					}
+					return false
+				}
+			case *ast.RangeStmt:
+				if m != n {
+					next := loop
+					if next == token.NoPos {
+						next = m.Pos()
+					}
+					walk(m.Body, next)
+					return false
+				}
+			case *ast.GoStmt:
+				boundary := m.Pos()
+				if loop != token.NoPos {
+					boundary = loop
+				}
+				c.ci.Spawns = append(c.ci.Spawns, Spawn{
+					Stmt:     m,
+					Callee:   c.g.CalleeOf(m.Call),
+					InLoop:   loop != token.NoPos,
+					Boundary: boundary,
+				})
+				c.ci.goCalls[m.Call] = true
+			}
+			return true
+		})
+	}
+	walk(body, token.NoPos)
+}
+
+// visit records the accesses and sync ops of one CFG node, threading the
+// must-hold lock state through in syntactic order.
+func (c *concCollector) visit(n ast.Node, state lockSet) {
+	var walk func(m ast.Node) bool
+	walk = func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			// The deferred call runs at return on this goroutine; record its
+			// accesses and sync facts (a deferred wg.Done still establishes
+			// the edge) without mutating the lock state.
+			for _, arg := range m.Call.Args {
+				cfg.Walk(arg, walk)
+			}
+			c.syncOp(m.Call, state)
+			if callee := c.g.CalleeOf(m.Call); callee != nil {
+				c.ci.callLocks[m.Call] = state.clone()
+			}
+			cfg.Walk(m.Call.Fun, walk)
+			return false
+		case *ast.CallExpr:
+			c.lockOp(m, state)
+			c.syncOp(m, state)
+			c.ci.callLocks[m] = state.clone()
+			return true
+		case *ast.SendStmt:
+			if !c.selDefault[m] {
+				if r, ok := resolveRef(c.info, m.Chan); ok {
+					c.addSync("send", &c.ci.HB.Sends, r, m.Pos())
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && !c.selDefault[m] {
+				if r, ok := resolveRef(c.info, m.X); ok {
+					c.addSync("recv", &c.ci.HB.Recvs, r, m.Pos())
+				}
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := c.info.TypeOf(m.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if r, ok := resolveRef(c.info, m.X); ok {
+						c.addSync("recv", &c.ci.HB.Recvs, r, m.Pos())
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if sel, ok := c.info.Selections[m]; ok && sel.Kind() == types.FieldVal {
+				c.record(m, c.writes[m], state)
+				cfg.Walk(m.X, walk)
+				return false
+			}
+			cfg.Walk(m.X, walk) // method or package selector: skip Sel
+			return false
+		case *ast.Ident:
+			c.record(m, c.writes[m], state)
+			return true
+		}
+		return true
+	}
+	cfg.Walk(n, walk)
+}
+
+// record captures one access. Locals are recorded too: whether a location is
+// truly shared is decided where goroutines meet — a spawner-local captured by
+// a `go` literal pairs with the spawner's own accesses by ref identity, while
+// an uncaptured local simply never matches anything concurrent. Call edges
+// drop callee-local roots at inheritance (subst.ref), so locals never leak
+// upward as false sharing.
+func (c *concCollector) record(e ast.Expr, write bool, state lockSet) {
+	r, ok := resolveRef(c.info, e)
+	if !ok {
+		return
+	}
+	if syncInternal(r.Leaf.Type()) {
+		return
+	}
+	if c.opts.Ignore != nil && c.opts.Ignore(e.Pos()) {
+		return
+	}
+	verb := "read"
+	if write {
+		verb = "write"
+	}
+	a := Access{
+		Ref:   r,
+		Pos:   e.Pos(),
+		Write: write,
+		Locks: lockSet(state).clone(),
+		Desc:  verb + " of " + r.Display(),
+	}
+	key := accessKey(a)
+	if c.ci.accKeys[key] {
+		return
+	}
+	c.ci.accKeys[key] = true
+	if write {
+		c.ci.SharedWrites = append(c.ci.SharedWrites, a)
+	} else {
+		c.ci.SharedReads = append(c.ci.SharedReads, a)
+	}
+}
+
+// lockOp applies a mutex Lock/Unlock to the must-hold state.
+func (c *concCollector) lockOp(call *ast.CallExpr, state lockSet) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncMutex(recv.Type()) {
+		return
+	}
+	r, ok := resolveRef(c.info, sel.X)
+	if !ok {
+		return
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		state[r.Key()] = true
+	case "Unlock", "RUnlock":
+		delete(state, r.Key())
+	}
+}
+
+// syncOp records WaitGroup Done/Wait, close(), and Once.Do.
+func (c *concCollector) syncOp(call *ast.CallExpr, state lockSet) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := c.info.Uses[id].(*types.Builtin); builtin && id.Name == "close" && len(call.Args) == 1 {
+			if r, ok := resolveRef(c.info, call.Args[0]); ok {
+				c.addSync("send", &c.ci.HB.Sends, r, call.Pos())
+			}
+		}
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	switch recvNamed(recv.Type()) {
+	case "sync.WaitGroup":
+		r, ok := resolveRef(c.info, sel.X)
+		if !ok {
+			return
+		}
+		switch fn.Name() {
+		case "Done":
+			c.addSync("done", &c.ci.HB.Done, r, call.Pos())
+		case "Wait":
+			c.addSync("wait", &c.ci.HB.Waits, r, call.Pos())
+		}
+	case "sync.Once":
+		if fn.Name() != "Do" || len(call.Args) != 1 {
+			return
+		}
+		r, ok := resolveRef(c.info, sel.X)
+		if !ok {
+			return
+		}
+		if callee := c.g.FuncValue(call.Args[0]); callee != nil {
+			c.ci.onceEdges = append(c.ci.onceEdges, onceEdge{
+				callee: callee,
+				site:   call,
+				lock:   "once:" + r.Key(),
+			})
+			c.ci.callLocks[call] = state.clone()
+		}
+	}
+}
+
+func (c *concCollector) addSync(kind string, dst *[]SyncOp, r Ref, pos token.Pos) {
+	if c.opts.Ignore != nil && c.opts.Ignore(pos) {
+		return
+	}
+	// Waits and Recvs keep every position (ordering matters); Done and Sends
+	// are sets.
+	key := kind + "|" + r.Key()
+	if kind == "wait" || kind == "recv" {
+		key = fmt.Sprintf("%s|%d", key, pos)
+	}
+	if c.ci.syncKeys[key] {
+		return
+	}
+	c.ci.syncKeys[key] = true
+	*dst = append(*dst, SyncOp{Ref: r, Pos: pos})
+}
+
+func isSyncMutex(t types.Type) bool {
+	switch recvNamed(t) {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+// recvNamed renders a (possibly pointer) named receiver type as "pkg.Name".
+func recvNamed(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// cfgWalkAll visits every node of body without descending into nested
+// function literals.
+func cfgWalkAll(body ast.Node, f func(ast.Node)) {
+	cfg.Walk(body, func(m ast.Node) bool {
+		f(m)
+		return true
+	})
+}

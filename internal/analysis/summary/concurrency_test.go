@@ -1,0 +1,308 @@
+package summary
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"autopipe/internal/analysis"
+	"autopipe/internal/analysis/callgraph"
+)
+
+// loadConc is load plus the *types.Package ComputeConcurrency needs.
+func loadConc(t *testing.T, src string) (*callgraph.Graph, *types.Package, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return callgraph.Build([]*ast.File{f}, info), pkg, info, fset
+}
+
+func accessNames(accs []Access) []string {
+	var out []string
+	for _, a := range accs {
+		out = append(out, a.Ref.Display())
+	}
+	return out
+}
+
+func hasAccess(accs []Access, display string) bool {
+	for _, a := range accs {
+		if a.Ref.Display() == display {
+			return true
+		}
+	}
+	return false
+}
+
+func findAccess(t *testing.T, accs []Access, display string) Access {
+	t.Helper()
+	for _, a := range accs {
+		if a.Ref.Display() == display {
+			return a
+		}
+	}
+	t.Fatalf("no access %q in %v", display, accessNames(accs))
+	return Access{}
+}
+
+const concSrc = `package p
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	m  int
+}
+
+var global int
+
+func (c *counter) guarded() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.m++
+}
+
+func (c *counter) bare() { c.n++ }
+
+func viaBare(c *counter) { c.bare() }
+
+func touchGlobal() { global = 1 }
+
+func localOnly() {
+	x := 0
+	x++
+	_ = x
+}
+
+func callsLocalOnly() { localOnly() }
+
+func spawner(c *counter) {
+	go c.bare()
+	for i := 0; i < 3; i++ {
+		go touchGlobal()
+	}
+}
+
+// Mutually-recursive spawn chain: ping spawns pong, pong calls ping. The
+// fixpoint must terminate and both directions must carry the global write.
+func ping(c *counter) {
+	go pong(c)
+	global = 2
+}
+
+func pong(c *counter) {
+	ping(c)
+	c.n++
+}
+
+func selects(ch chan int, out chan int) {
+	select {
+	case ch <- 1: // may never run: select has a default
+	default:
+	}
+	out <- 2 // unconditional
+	select {
+	case v := <-ch: // may never run either
+		_ = v
+	default:
+	}
+}
+
+func waits(wg *sync.WaitGroup, done chan struct{}) {
+	wg.Done()
+	wg.Wait()
+	<-done
+	close(done)
+}
+
+func onceInit(once *sync.Once) {
+	once.Do(func() { global = 3 })
+}
+`
+
+func TestConcDirectAccesses(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	guarded := sums[byName(t, g, "(*counter).guarded")]
+	n := findAccess(t, guarded.SharedWrites, "c.n")
+	if len(n.Locks) != 1 {
+		t.Errorf("guarded c.n locks = %v, want the mutex held", n.Locks)
+	}
+	m := findAccess(t, guarded.SharedWrites, "c.m")
+	if len(m.Locks) != 0 {
+		t.Errorf("guarded c.m locks = %v, want none (after Unlock)", m.Locks)
+	}
+
+	// Locals are recorded in the owner's own summary (they matter when a
+	// goroutine captures them) but must be dropped at call edges: the caller
+	// of localOnly shares nothing.
+	if got := sums[byName(t, g, "localOnly")]; !hasAccess(got.SharedWrites, "x") {
+		t.Errorf("localOnly writes = %v, want the local x recorded", accessNames(got.SharedWrites))
+	}
+	if got := sums[byName(t, g, "callsLocalOnly")]; len(got.SharedReads)+len(got.SharedWrites) != 0 {
+		t.Errorf("callsLocalOnly inherited %v/%v, want nothing (callee-locals drop at edges)", accessNames(got.SharedReads), accessNames(got.SharedWrites))
+	}
+
+	tg := sums[byName(t, g, "touchGlobal")]
+	if !hasAccess(tg.SharedWrites, "global") {
+		t.Errorf("touchGlobal writes = %v, want global", accessNames(tg.SharedWrites))
+	}
+}
+
+func TestConcInheritance(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	// viaBare(c) calls c.bare(): the receiver-field write rebases onto the
+	// caller's argument with a witness chain.
+	vb := sums[byName(t, g, "viaBare")]
+	w := findAccess(t, vb.SharedWrites, "c.n")
+	if !strings.HasPrefix(w.Desc, "call to (*counter).bare: ") {
+		t.Errorf("inherited desc = %q, want witness chain through bare", w.Desc)
+	}
+}
+
+func TestConcSpawns(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	sp := sums[byName(t, g, "spawner")]
+	if len(sp.Spawns) != 2 {
+		t.Fatalf("spawner has %d spawns, want 2", len(sp.Spawns))
+	}
+	if sp.Spawns[0].InLoop || sp.Spawns[0].Callee == nil || sp.Spawns[0].Callee.Name() != "(*counter).bare" {
+		t.Errorf("spawn 0 = %+v, want resolved (*counter).bare outside loop", sp.Spawns[0])
+	}
+	if !sp.Spawns[1].InLoop || sp.Spawns[1].Boundary == sp.Spawns[1].Stmt.Pos() {
+		t.Errorf("spawn 1 must be in-loop with the loop start as boundary")
+	}
+
+	// The spawned callee's accesses do NOT leak into the spawner's own
+	// same-goroutine access set.
+	if hasAccess(sp.SharedWrites, "c.n") || hasAccess(sp.SharedWrites, "global") {
+		t.Errorf("spawner inherited spawned-side writes %v; go edges must not propagate", accessNames(sp.SharedWrites))
+	}
+}
+
+// TestConcMutualRecursion is the satellite-required case: a spawn chain that
+// recurses through the spawner. The fixpoint must terminate, ping must keep
+// its direct global write, and pong must inherit it through the plain call
+// edge back into ping — while the go edge contributes nothing to ping's own
+// set.
+func TestConcMutualRecursion(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	ping := sums[byName(t, g, "ping")]
+	if !hasAccess(ping.SharedWrites, "global") {
+		t.Errorf("ping writes = %v, want global", accessNames(ping.SharedWrites))
+	}
+	// pong's c.n write must not flow back into ping's same-goroutine set:
+	// the only edge from ping to pong is the go statement.
+	if hasAccess(ping.SharedWrites, "c.n") {
+		t.Errorf("ping inherited the spawned pong's c.n write through the go edge")
+	}
+	if len(ping.Spawns) != 1 || ping.Spawns[0].Callee == nil || ping.Spawns[0].Callee.Name() != "pong" {
+		t.Fatalf("ping spawns = %+v, want one resolved spawn of pong", ping.Spawns)
+	}
+
+	pong := sums[byName(t, g, "pong")]
+	if !hasAccess(pong.SharedWrites, "global") {
+		t.Errorf("pong writes = %v, want global inherited from ping", accessNames(pong.SharedWrites))
+	}
+	if !hasAccess(pong.SharedWrites, "c.n") {
+		t.Errorf("pong writes = %v, want its own c.n", accessNames(pong.SharedWrites))
+	}
+}
+
+// TestConcSelectDefault is the satellite-required case: a send or receive
+// inside a select with a default case may never execute and must not mint a
+// happens-before edge; the unconditional send still does.
+func TestConcSelectDefault(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	sel := sums[byName(t, g, "selects")]
+	for _, s := range sel.HB.Sends {
+		if s.Ref.Display() == "ch" {
+			t.Errorf("send on ch inside select-with-default minted an HB edge")
+		}
+	}
+	var sawOut bool
+	for _, s := range sel.HB.Sends {
+		if s.Ref.Display() == "out" {
+			sawOut = true
+		}
+	}
+	if !sawOut {
+		t.Errorf("unconditional send on out missing from HB.Sends: %+v", sel.HB.Sends)
+	}
+	if len(sel.HB.Recvs) != 0 {
+		t.Errorf("recv inside select-with-default minted an HB edge: %+v", sel.HB.Recvs)
+	}
+}
+
+func TestConcWaitGroupAndClose(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	w := sums[byName(t, g, "waits")]
+	if len(w.HB.Done) != 1 || w.HB.Done[0].Ref.Display() != "wg" {
+		t.Errorf("Done ops = %+v, want one on wg", w.HB.Done)
+	}
+	if len(w.HB.Waits) != 1 {
+		t.Errorf("Wait ops = %+v, want one", w.HB.Waits)
+	}
+	if len(w.HB.Recvs) != 1 || w.HB.Recvs[0].Ref.Display() != "done" {
+		t.Errorf("Recvs = %+v, want one on done", w.HB.Recvs)
+	}
+	// close(done) counts as a send for send→recv ordering.
+	if len(w.HB.Sends) != 1 || w.HB.Sends[0].Ref.Display() != "done" {
+		t.Errorf("Sends = %+v, want close(done)", w.HB.Sends)
+	}
+}
+
+func TestConcOncePseudoLock(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	oi := sums[byName(t, g, "onceInit")]
+	w := findAccess(t, oi.SharedWrites, "global")
+	var once bool
+	for k := range w.Locks {
+		if strings.HasPrefix(k, "once:") {
+			once = true
+		}
+	}
+	if !once {
+		t.Errorf("global write inherited from once.Do callback has locks %v, want a once: pseudo-lock", w.Locks)
+	}
+}
+
+func TestSpecializeSpawn(t *testing.T) {
+	g, pkg, info, _ := loadConc(t, concSrc)
+	sums := ComputeConcurrency(g, pkg, info, Options{})
+
+	sp := byName(t, g, "spawner")
+	spawn := sums[sp].Spawns[0] // go c.bare()
+	accs, _ := SpecializeSpawn(sums, spawn.Callee, spawn.Stmt.Call, pkg, info)
+	if len(accs) != 1 || accs[0].Ref.Display() != "c.n" || !accs[0].Write {
+		t.Fatalf("specialized accesses = %+v, want the write of c.n rebased onto spawner's c", accs)
+	}
+}

@@ -1,0 +1,117 @@
+// raceguard fixture: positive cases (a diagnostic expected on the line) and
+// negative cases (any diagnostic would fail the harness). Positions: a
+// spawner-vs-goroutine race is reported at the spawner's racing access; a
+// goroutine-vs-goroutine or loop-iteration race at the `go` statement.
+//
+// This file holds the intra-procedural cases — closures capturing spawner
+// locals, with ordering (or its absence) expressed directly in the spawning
+// function. The cases that need the call graph and cross-function summaries
+// (spawned named functions and methods, witness chains) live in b.go.
+package raceguard
+
+import "sync"
+
+// --- positive: unguarded captured variable -------------------------------
+
+func capturedUnguarded() {
+	x := 0
+	go func() { x++ }()
+	x++ // want "unsynchronized access to x"
+}
+
+// --- positive: loop-spawned goroutine races its own iterations -----------
+
+func loopSpawn() {
+	x := 0
+	for i := 0; i < 4; i++ {
+		go func() { x++ }() // want "races its own iterations on x"
+	}
+}
+
+// --- positive: Wait on the wrong WaitGroup orders nothing ----------------
+
+func wrongGroup() {
+	var wg, other sync.WaitGroup
+	x := 0
+	wg.Add(1)
+	go func() { x++; wg.Done() }()
+	other.Wait()
+	x++ // want "unsynchronized access to x"
+	wg.Wait()
+	_ = other
+}
+
+// --- positive: access before the Wait that would order it ----------------
+
+func waitTooLate() {
+	var wg sync.WaitGroup
+	x := 0
+	wg.Add(1)
+	go func() { x++; wg.Done() }()
+	x++ // want "unsynchronized access to x"
+	wg.Wait()
+}
+
+// --- positive: a send under select-with-default orders nothing -----------
+
+func selectDefaultNoOrder() {
+	ch := make(chan int, 1)
+	x := 0
+	go func() {
+		x++
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+	<-ch
+	x++ // want "unsynchronized access to x"
+}
+
+// --- positive: waiver demonstration (suppressed, so no want) -------------
+
+func waived() {
+	x := 0
+	go func() { x++ }()
+	x++ //lint:allow raceguard fixture: demonstrates the per-line escape hatch
+}
+
+// --- negative: write sequenced before the spawn --------------------------
+
+func writeBeforeSpawn() {
+	x := 1
+	go func() { _ = x }()
+}
+
+// --- negative: write before go, read after Wait (Done→Wait edge) ---------
+
+func orderedByWaitGroup() {
+	var wg sync.WaitGroup
+	x := 1
+	wg.Add(1)
+	go func() { x++; wg.Done() }()
+	wg.Wait()
+	_ = x
+}
+
+// --- negative: close→recv channel hand-off -------------------------------
+
+func orderedByChannel() {
+	x := 0
+	done := make(chan struct{})
+	go func() { x = 42; close(done) }()
+	<-done
+	_ = x
+}
+
+// --- negative: spawner's send before the goroutine's receive -------------
+
+func handoffSend(jobs chan int) {
+	x := 0
+	go func() {
+		<-jobs
+		x++
+	}()
+	x = 5
+	jobs <- 1
+}

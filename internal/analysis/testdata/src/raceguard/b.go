@@ -1,0 +1,136 @@
+// raceguard fixture, interprocedural half: spawned named functions and
+// methods resolved through the package call graph, shared accesses inherited
+// from callees with witness chains, and lock sets rebased across the call
+// edge (bothGuarded only stays silent because the callee frame's r.mu is
+// recognized as the caller frame's r.mu). See a.go for the intra-procedural
+// closure cases.
+package raceguard
+
+import "sync"
+
+type rec struct {
+	mu sync.Mutex
+	n  int
+	a  int
+	b  int
+}
+
+func (r *rec) inc() { r.n++ }
+
+func (r *rec) lockedInc() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// --- positive: unguarded receiver field through a spawned method ---------
+
+func methodSpawn(r *rec) {
+	go r.inc()
+	r.n++ // want "unsynchronized access to r.n"
+}
+
+// --- positive: goroutine locks, spawner does not -------------------------
+
+func goroutineGuardedOnly(r *rec) {
+	go r.lockedInc()
+	r.n++ // want "unsynchronized access to r.n"
+}
+
+// --- positive: spawner locks, goroutine does not -------------------------
+
+func spawnerGuardedOnly(r *rec) {
+	go r.inc()
+	r.mu.Lock()
+	r.n++ // want "unsynchronized access to r.n"
+	r.mu.Unlock()
+}
+
+// --- positive: two sibling goroutines on a package variable --------------
+
+var total int
+
+func addTotal() { total++ }
+
+func siblings() {
+	go addTotal()
+	go addTotal() // want "two goroutines race on total"
+}
+
+// --- positive: two different spawned functions, same package variable ----
+
+var mode int
+
+func setFast() { mode = 1 }
+
+func setSlow() { mode = 2 }
+
+func configRace() {
+	go setFast()
+	go setSlow() // want "two goroutines race on mode"
+}
+
+// --- positive: in-loop spawner access races the previous iteration -------
+
+var hits int
+
+func recordHit() { hits++ }
+
+func loopBody() {
+	for i := 0; i < 3; i++ {
+		go recordHit() // want "races its own iterations on hits"
+		hits++         // want "unsynchronized access to hits"
+	}
+}
+
+// --- positive: witness chain through a helper call -----------------------
+
+var counter int
+
+func bump() { counter++ }
+
+func viaHelper() {
+	done := make(chan struct{})
+	go func() { bump(); close(done) }()
+	counter++ // want "unsynchronized access to counter"
+	<-done
+}
+
+// --- negative: both sides hold the same mutex ----------------------------
+
+func bothGuarded(r *rec) {
+	go r.lockedInc()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// --- negative: read-read sharing is not a race ---------------------------
+
+var config int
+
+func readConfig() { _ = config }
+
+func readers() {
+	go readConfig()
+	go readConfig()
+	_ = config
+}
+
+// --- negative: distinct fields of one struct are distinct locations ------
+
+func distinctFields(r *rec) {
+	go func() { r.a++ }()
+	r.b++
+}
+
+// --- negative: sync.Once.Do on both sides is mutual exclusion ------------
+
+var initialized int
+
+func setup() { initialized = 1 }
+
+func onceBoth(o *sync.Once) {
+	go func() { o.Do(setup) }()
+	o.Do(setup)
+}
